@@ -1,0 +1,156 @@
+// capture is the offline capturing application: the role createDist plays
+// in the measurements (§A.1), over pcap files. It applies a BPF filter,
+// optional per-packet load (-c memcpys, -z real zlib compression), can
+// write a (truncated) trace (-t / -tsl), and reports pcap-style statistics
+// plus the observed data rate.
+//
+//	capture -r trace.pcap -f "not tcp" -z 3 -tsl 76 -t headers.pcap -v
+package main
+
+import (
+	"compress/flate"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro"
+	"repro/internal/flows"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("r", "", "pcap file to read (required)")
+		filt    = flag.String("f", "", "capture filter (tcpdump syntax)")
+		copies  = flag.Int("c", 0, "additional memcpy operations per packet")
+		zlevel  = flag.Int("z", 0, "compress every packet with this zlib level (1-9)")
+		outFile = flag.String("t", "", "write captured packets to this pcap file")
+		tsl     = flag.Int("tsl", 0, "write only the first N bytes of every packet")
+		snaplen = flag.Int("sl", 0, "capture snap length (default: file snaplen)")
+		verbose = flag.Bool("v", false, "verbose statistics on standard error")
+		print_  = flag.Bool("print", false, "print a tcpdump-style line per packet")
+		nflows  = flag.Int("flows", 0, "track flows and print the top N by bytes")
+	)
+	flag.Parse()
+	if *inFile == "" {
+		fmt.Fprintln(os.Stderr, "capture: -r <file.pcap> is required")
+		os.Exit(2)
+	}
+	if err := run(*inFile, *filt, *copies, *zlevel, *outFile, *tsl, *snaplen, *verbose, *print_, *nflows); err != nil {
+		fmt.Fprintln(os.Stderr, "capture:", err)
+		os.Exit(1)
+	}
+}
+
+func run(inFile, filt string, copies, zlevel int, outFile string, tsl, snaplen int, verbose, printLines bool, nflows int) error {
+	var flowTable *flows.Table
+	if nflows > 0 {
+		flowTable = flows.New(true)
+	}
+	f, err := os.Open(inFile)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h, err := repro.OpenOffline(f)
+	if err != nil {
+		return err
+	}
+	if filt != "" {
+		if err := h.SetFilter(filt); err != nil {
+			return err
+		}
+	}
+
+	var dump *repro.DumpWriter
+	if outFile != "" {
+		out, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer out.Close()
+		sl := uint32(h.Snaplen())
+		if tsl > 0 {
+			sl = uint32(tsl)
+		}
+		dump = repro.NewDumpWriter(out, sl)
+	}
+
+	// Real per-packet load, like the thesis's -c and -z options: memcpy via
+	// copy(), compression via compress/flate into a discard writer
+	// (gzopen("/dev/null") in the original).
+	var scratch [65536]byte
+	var fw *flate.Writer
+	if zlevel > 0 {
+		fw, err = flate.NewWriter(io.Discard, zlevel)
+		if err != nil {
+			return err
+		}
+	}
+
+	var packets, bytes uint64
+	var firstTS, lastTS int64
+	for {
+		info, data, err := h.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if snaplen > 0 && len(data) > snaplen {
+			data = data[:snaplen]
+		}
+		for i := 0; i < copies; i++ {
+			copy(scratch[:], data)
+		}
+		if fw != nil {
+			if _, err := fw.Write(data); err != nil {
+				return err
+			}
+		}
+		if dump != nil {
+			if err := dump.WritePacket(info.Timestamp, data, info.OrigLen); err != nil {
+				return err
+			}
+		}
+		if printLines {
+			fmt.Println(repro.FormatPacket(info.Timestamp, data))
+		}
+		if flowTable != nil {
+			flowTable.Observe(info.Timestamp, data)
+		}
+		if packets == 0 {
+			firstTS = info.Timestamp.UnixNano()
+		}
+		lastTS = info.Timestamp.UnixNano()
+		packets++
+		bytes += uint64(info.OrigLen)
+	}
+	if fw != nil {
+		if err := fw.Close(); err != nil {
+			return err
+		}
+	}
+	if dump != nil {
+		if err := dump.Flush(); err != nil {
+			return err
+		}
+	}
+
+	if flowTable != nil {
+		fmt.Print(flowTable.Report(nflows))
+	}
+	st := h.Stats()
+	fmt.Printf("%d packets captured, %d rejected by filter\n", st.Received, st.Filtered)
+	if verbose {
+		span := float64(lastTS-firstTS) / 1e9
+		fmt.Fprintf(os.Stderr, "capture: %d bytes on the wire", bytes)
+		if span > 0 {
+			fmt.Fprintf(os.Stderr, ", %.3f s span, %.1f Mbit/s, %.1f kpps",
+				span, float64(bytes)*8/span/1e6, float64(packets)/span/1e3)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	return nil
+}

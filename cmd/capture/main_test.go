@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeTrace(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "in.pcap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := trace.Synthesize(f, n, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCaptureRoundTrip(t *testing.T) {
+	in := writeTrace(t, 300)
+	out := filepath.Join(filepath.Dir(in), "out.pcap")
+	if err := run(in, "udp", 2, 1, out, 76, 0, false, false, 0); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 300 × (16-byte record header + ≤76 bytes) + 24-byte file header.
+	if st.Size() <= 24 || st.Size() > 24+300*(16+76) {
+		t.Fatalf("output trace size = %d", st.Size())
+	}
+}
+
+func TestCaptureRejectsBadFilter(t *testing.T) {
+	in := writeTrace(t, 10)
+	if err := run(in, "syntactically (wrong", 0, 0, "", 0, 0, false, false, 0); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+}
+
+func TestCaptureMissingFile(t *testing.T) {
+	if err := run("/nonexistent/file.pcap", "", 0, 0, "", 0, 0, false, false, 0); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestCaptureFlows(t *testing.T) {
+	in := writeTrace(t, 100)
+	// Flow mode exercises the table end to end; just assert no error.
+	if err := run(in, "", 0, 0, "", 0, 0, false, false, 5); err != nil {
+		t.Fatal(err)
+	}
+}

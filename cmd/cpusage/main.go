@@ -1,0 +1,97 @@
+// cpusage is the profiling tool of §A.3: it samples the CPU state counters
+// of a system every half second and prints per-state percentages plus a
+// Min/Max/Avg summary. Since the 2005 testbed is simulated, cpusage runs a
+// capture workload on one of the four systems and samples the simulated
+// machine — flags select the scenario.
+//
+//	cpusage -system moorhen -rate 800 -o > moorhen.usage.out
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/cpuprof"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		system  = flag.String("system", "moorhen", "system under test: swan|snipe|moorhen|flamingo")
+		rate    = flag.Float64("rate", 800, "data rate in Mbit/s")
+		packets = flag.Int("packets", 100_000, "packets per run")
+		ncpu    = flag.Int("cpus", 2, "number of CPUs (1 = no SMP)")
+		bigBuf  = flag.Bool("bigbuf", true, "use the increased buffer sizes of §6.3.1")
+		machine = flag.Bool("o", false, "machine-readable output (colon separated)")
+		limit   = flag.Float64("l", 0, "record averages only while idle is below this limit")
+		avgAll  = flag.Bool("a", false, "build the average over the whole time (same as -l 100)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+	if err := run(*system, *rate, *packets, *ncpu, *bigBuf, *machine, *limit, *avgAll, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "cpusage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(system string, rate float64, packets, ncpu int, bigBuf, machine bool, limit float64, avgAll bool, seed uint64) error {
+	var cfg capture.Config
+	switch strings.ToLower(system) {
+	case "swan":
+		cfg = core.Swan()
+	case "snipe":
+		cfg = core.Snipe()
+	case "moorhen":
+		cfg = core.Moorhen()
+	case "flamingo":
+		cfg = core.Flamingo()
+	default:
+		return fmt.Errorf("unknown system %q", system)
+	}
+	cfg.NumCPUs = ncpu
+	if bigBuf {
+		if cfg.OS == capture.Linux {
+			cfg.BufferBytes = capture.BigLinuxRcvbuf
+		} else {
+			cfg.BufferBytes = capture.BigBSDBuffer
+		}
+	}
+	w := core.Workload{Packets: packets, TargetRate: rate * 1e6, Seed: seed}
+	sys := capture.NewSystem(core.Prepare(cfg, w))
+	// The sampling interval is time-compressed with the run, like every
+	// other OS time constant.
+	interval := sim.Time(float64(cpuprof.DefaultInterval) * float64(packets) / 1_000_000)
+	sp := cpuprof.Attach(sys, interval)
+	st := sys.Run(w.Generator())
+
+	if err := cpuprof.Write(os.Stdout, sp.Samples, cfg.OS, machine); err != nil {
+		return err
+	}
+
+	samples := sp.Samples
+	if avgAll {
+		limit = 100
+	}
+	if limit > 0 {
+		samples = cpuprof.Trim(samples, limit)
+	}
+	sum := cpuprof.Summarize(samples)
+	names := cpuprof.StateNames(cfg.OS)
+	printRow := func(label string, s cpuprof.Sample) {
+		fmt.Printf("%-4s", label)
+		for i, v := range s.States(cfg.OS) {
+			fmt.Printf("  %s %5.1f%%", names[i], v)
+		}
+		fmt.Println()
+	}
+	fmt.Println("---")
+	printRow("Min", sum.Min)
+	printRow("Max", sum.Max)
+	printRow("Avg", sum.Avg)
+	fmt.Printf("# capture rate %.2f%%, overall CPU %.1f%%\n", st.CaptureRate(), st.CPUUsage())
+	return nil
+}

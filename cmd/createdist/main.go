@@ -1,0 +1,189 @@
+// createdist is the reimplementation of the thesis's createDist tool
+// (§A.1): it counts packet sizes, converts between the distribution
+// representations, and produces the procfs input for the enhanced Linux
+// Kernel Packet Generator.
+//
+// Input types (-I): dist (size/count pairs), procfs (generator format),
+// sizes (one size per line), trace (pcap file), erf (Endace DAG trace —
+// going beyond the original, which could not read DAG files). Output
+// types (-O): dist, procfs, sizes.
+//
+// As in the original, choosing -O sizes makes the tool "act like the
+// generator" and emit -n sizes drawn from the distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dist"
+	"repro/internal/filter"
+	"repro/internal/pcapfile"
+	"repro/internal/pkt"
+)
+
+func main() {
+	var (
+		verbose = flag.Bool("v", false, "verbose output to standard error")
+		inFile  = flag.String("i", "", "input file (default: standard input)")
+		outFile = flag.String("o", "", "output file (default: standard output)")
+		inType  = flag.String("I", "dist", "input type: dist|procfs|sizes|trace|erf")
+		outType = flag.String("O", "procfs", "output type: dist|procfs|sizes")
+		fs      = flag.String("fs", " ", "field separator for dist type")
+		n       = flag.Int("n", 10_000_000, "number of packet sizes to generate (sizes output)")
+		seed    = flag.Uint64("seed", 1, "random seed for sizes output")
+		pgset   = flag.Bool("s", false, "surround procfs output by pgset()'s")
+		maxSize = flag.Int("max", 1500, "maximum packet size N_ps")
+		prec    = flag.Int("prec", 1000, "precision/resolution of the arrays ρ")
+		hwidth  = flag.Int("hwidth", 20, "width of bins σ_bin")
+		outlb   = flag.Float64("outlb", 0.002, "outlier boundary p_Ωbound (fraction)")
+		filt    = flag.String("f", "", "capture filter for trace input (tcpdump syntax)")
+	)
+	flag.Parse()
+	if err := run(*verbose, *inFile, *outFile, *inType, *outType, *fs, *n, *seed, *pgset,
+		dist.Params{Precision: *prec, BinSize: *hwidth, MaxSize: *maxSize, OutlierBound: *outlb},
+		*filt); err != nil {
+		fmt.Fprintln(os.Stderr, "createdist:", err)
+		os.Exit(1)
+	}
+}
+
+func run(verbose bool, inFile, outFile, inType, outType, fs string,
+	n int, seed uint64, pgset bool, params dist.Params, filt string) error {
+	in := io.Reader(os.Stdin)
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	out := io.Writer(os.Stdout)
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if len(fs) != 1 {
+		return fmt.Errorf("field separator must be a single character")
+	}
+
+	// Acquire the distribution (as counts or directly as a two-stage
+	// representation, depending on the input type).
+	var counts dist.Counts
+	var d *dist.Distribution
+	switch inType {
+	case "dist":
+		if err := dist.ReadDist(in, fs[0], &counts); err != nil {
+			return err
+		}
+	case "sizes":
+		if err := dist.ReadSizes(in, &counts); err != nil {
+			return err
+		}
+	case "procfs":
+		var err error
+		d, err = dist.ParseProcfs(in)
+		if err != nil {
+			return err
+		}
+	case "trace":
+		r, err := pcapfile.NewReader(in)
+		if err != nil {
+			return err
+		}
+		if err := readTrace(r.Next, &counts, filt, verbose); err != nil {
+			return err
+		}
+	case "erf":
+		// The original createDist could not read DAG traces ("there is no
+		// library to process DAG trace files", §A.1.2); this reader can.
+		if err := readTrace(pcapfile.NewERFReader(in).Next, &counts, filt, verbose); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown input type %q", inType)
+	}
+
+	if verbose && counts.Total() > 0 {
+		fmt.Fprintf(os.Stderr, "createdist: %d packets, %d distinct sizes, mean %.1f bytes\n",
+			counts.Total(), len(counts.Sizes()), counts.Mean())
+	}
+
+	needDist := outType == "procfs" || outType == "sizes"
+	if needDist && d == nil {
+		var err error
+		d, err = dist.Build(&counts, params)
+		if err != nil {
+			return err
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "createdist: %d outliers (%.1f%% of mass), %d bins\n",
+				len(d.Outliers), d.OutlierMass()*100, len(d.Bins))
+		}
+	}
+
+	switch outType {
+	case "dist":
+		if counts.Total() == 0 && d != nil {
+			// procfs input, dist output: sample to approximate counts.
+			rng := dist.NewRNG(seed)
+			for i := 0; i < n; i++ {
+				counts.Add(d.Sample(rng), 1)
+			}
+		}
+		return dist.WriteDist(out, fs[0], &counts)
+	case "procfs":
+		return dist.WriteProcfs(out, d, pgset)
+	case "sizes":
+		return dist.WriteSizes(out, d, dist.NewRNG(seed), n)
+	}
+	return fmt.Errorf("unknown output type %q", outType)
+}
+
+// readTrace counts the IP datagram length of every IP packet from a
+// packet-record source (pcap or ERF); non-IP packets are discarded, like
+// the original's callback.
+func readTrace(next func() (pcapfile.PacketInfo, []byte, error), counts *dist.Counts, filt string, verbose bool) error {
+	accept := func(data []byte) bool { return true }
+	if filt != "" {
+		prog, err := filter.Compile(filt, 65535)
+		if err != nil {
+			return err
+		}
+		accept = func(data []byte) bool {
+			res, err := prog.Run(data)
+			return err == nil && res.Accept > 0
+		}
+	}
+	skipped := 0
+	for {
+		_, data, err := next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if !accept(data) {
+			skipped++
+			continue
+		}
+		s, err := pkt.Parse(data)
+		if err != nil || !s.IsIPv4 {
+			skipped++
+			continue
+		}
+		counts.Add(int(s.IPv4.Length), 1)
+	}
+	if verbose && skipped > 0 {
+		fmt.Fprintf(os.Stderr, "createdist: skipped %d non-IP/filtered packets\n", skipped)
+	}
+	return nil
+}

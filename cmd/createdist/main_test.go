@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/pcapfile"
+	"repro/internal/trace"
+)
+
+func params() dist.Params { return dist.DefaultParams() }
+
+func TestSizesToProcfs(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "sizes.txt")
+	out := filepath.Join(dir, "out.procfs")
+	var sizes bytes.Buffer
+	for i := 0; i < 500; i++ {
+		sizes.WriteString("40\n1500\n576\n")
+	}
+	if err := os.WriteFile(in, sizes.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(false, in, out, "sizes", "procfs", " ", 0, 1, false, params(), ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dist.ParseProcfs(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("output is not valid procfs: %v", err)
+	}
+	if len(d.Outliers) != 3 {
+		t.Fatalf("outliers = %d, want 3 (40/576/1500)", len(d.Outliers))
+	}
+}
+
+func TestTraceToDist(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "trace.pcap")
+	out := filepath.Join(dir, "out.dist")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Synthesize(f, 1000, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(false, in, out, "trace", "dist", " ", 0, 1, false, params(), "udp"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c dist.Counts
+	if err := dist.ReadDist(bytes.NewReader(data), ' ', &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 1000 {
+		t.Fatalf("counted %d packets, want 1000", c.Total())
+	}
+}
+
+func TestProcfsToSizes(t *testing.T) {
+	dir := t.TempDir()
+	procfs := filepath.Join(dir, "in.procfs")
+	out := filepath.Join(dir, "sizes.txt")
+	d, err := dist.Build(trace.MWNCounts(100000), params())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(procfs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dist.WriteProcfs(f, d, true); err != nil { // pgset-wrapped
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(false, procfs, out, "procfs", "sizes", " ", 2000, 7, false, params(), ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c dist.Counts
+	if err := dist.ReadSizes(bytes.NewReader(data), &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 2000 {
+		t.Fatalf("generated %d sizes, want 2000", c.Total())
+	}
+}
+
+func TestBadTypes(t *testing.T) {
+	if err := run(false, "", "", "bogus", "dist", " ", 0, 1, false, params(), ""); err == nil {
+		t.Fatal("bad input type accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "x")
+	os.WriteFile(in, []byte("40 1\n"), 0o644)
+	if err := run(false, in, "", "dist", "bogus", " ", 0, 1, false, params(), ""); err == nil {
+		t.Fatal("bad output type accepted")
+	}
+	if err := run(false, in, "", "dist", "dist", "ab", 0, 1, false, params(), ""); err == nil {
+		t.Fatal("multi-char separator accepted")
+	}
+}
+
+func TestERFInput(t *testing.T) {
+	dir := t.TempDir()
+	// Convert a synthesized pcap to ERF, then feed it back as -I erf.
+	var pcapBuf bytes.Buffer
+	if err := trace.Synthesize(&pcapBuf, 400, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcapfile.NewReader(&pcapBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	erfPath := filepath.Join(dir, "t.erf")
+	f, err := os.Create(erfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := pcapfile.NewERFWriter(f)
+	for {
+		info, data, err := r.Next()
+		if err != nil {
+			break
+		}
+		if err := w.WritePacket(info.Timestamp, data, info.OrigLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	out := filepath.Join(dir, "out.dist")
+	if err := run(false, erfPath, out, "erf", "dist", " ", 0, 1, false, params(), ""); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c dist.Counts
+	if err := dist.ReadDist(bytes.NewReader(data), ' ', &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 400 {
+		t.Fatalf("counted %d packets from ERF, want 400", c.Total())
+	}
+}

@@ -1,0 +1,136 @@
+// experiment runs the reproduced tables and figures of the thesis's
+// evaluation and prints the plotted series as tab-separated tables.
+//
+//	experiment -list
+//	experiment -id fig6.3-smp -packets 100000 -reps 3
+//	experiment -all -packets 40000 > results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list all experiment ids")
+		id      = flag.String("id", "", "experiment id to run")
+		all     = flag.Bool("all", false, "run every experiment")
+		packets = flag.Int("packets", 40_000, "packets per run (thesis: 1000000)")
+		reps    = flag.Int("reps", 1, "repetitions per point (thesis: 7)")
+		seed    = flag.Uint64("seed", 1, "base random seed")
+		rates   = flag.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
+		gpDir   = flag.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
+	)
+	flag.Parse()
+
+	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed}
+	if *rates != "" {
+		for _, f := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiment: bad rate %q\n", f)
+				os.Exit(2)
+			}
+			o.Rates = append(o.Rates, v)
+		}
+	}
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %-18s %s\n", e.ID, e.Paper, e.Title)
+		}
+	case *all:
+		for _, e := range experiments.All() {
+			fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
+			out := e.Run(o)
+			fmt.Println(out)
+			if err := writeGnuplot(*gpDir, e, out); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				os.Exit(1)
+			}
+		}
+	case *id != "":
+		e, err := experiments.Find(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
+		out := e.Run(o)
+		fmt.Println(out)
+		if err := writeGnuplot(*gpDir, e, out); err != nil {
+			fmt.Fprintln(os.Stderr, "experiment:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// writeGnuplot stores the experiment output as <id>.dat and, for the
+// thesis-style rate tables (a "# x<TAB>name:rate%..." header), a matching
+// linespoints plot script — the format the thesis's own plots use.
+func writeGnuplot(dir string, e experiments.Experiment, out string) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	dat := filepath.Join(dir, e.ID+".dat")
+	if err := os.WriteFile(dat, []byte(out), 0o644); err != nil {
+		return err
+	}
+	lines := strings.Split(out, "\n")
+	var header string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# x\t") {
+			header = l
+			break
+		}
+	}
+	if header == "" {
+		return nil // not a rate table; the .dat alone is useful
+	}
+	cols := strings.Split(strings.TrimPrefix(header, "# "), "\t")
+	var plots []string
+	for i, c := range cols[1:] {
+		name, kind, ok := strings.Cut(c, ":")
+		if !ok {
+			continue
+		}
+		axis := "x1y1"
+		width := 2
+		if strings.HasPrefix(kind, "cpu") {
+			axis = "x1y2"
+			width = 1
+		}
+		plots = append(plots, fmt.Sprintf(
+			"  %q using 1:%d with linespoints lw %d axes %s title %q",
+			e.ID+".dat", i+2, width, axis, name+" "+kind))
+	}
+	script := fmt.Sprintf(`set title %q
+set xlabel "Datarate [Mbit/s]"
+set ylabel "Capturing Rate [%%]"
+set y2label "CPU usage [%%]"
+set yrange [0:105]
+set y2range [0:105]
+set y2tics
+set key below
+set grid
+set terminal pngcairo size 1000,600
+set output %q
+plot \
+%s
+`, e.Title, e.ID+".png", strings.Join(plots, ", \\\n"))
+	return os.WriteFile(filepath.Join(dir, e.ID+".gp"), []byte(script), 0o644)
+}

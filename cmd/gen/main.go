@@ -1,0 +1,133 @@
+// gen drives the enhanced Linux Kernel Packet Generator standalone: it
+// accepts pgset command scripts (the /proc interface of §A.2.2), generates
+// the packet train, reports the achieved rates — and can dump the train to
+// a pcap file for inspection.
+//
+//	gen -script pktgen.pgset -count 100000 -rate 500 -w train.pcap
+//	createdist -I trace -O procfs -i train.pcap | gen -stdin -count 10000
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/pcapfile"
+	"repro/internal/pktgen"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		script  = flag.String("script", "", "file with pgset commands (dist/outl/hist/flag/...)")
+		stdin   = flag.Bool("stdin", false, "read pgset commands from standard input")
+		mwn     = flag.Bool("mwn", false, "load the built-in MWN packet size distribution")
+		count   = flag.Int("count", 100_000, "packets to generate")
+		size    = flag.Int("size", 0, "fixed frame size (disables the distribution)")
+		rate    = flag.Float64("rate", 0, "target wire rate in Mbit/s (0 = line rate)")
+		delay   = flag.Int64("delay", 0, "artificial inter-packet gap in ns")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		outPcap = flag.String("w", "", "write the generated train to this pcap file")
+	)
+	flag.Parse()
+	if err := run(*script, *stdin, *mwn, *count, *size, *rate, *delay, *seed, *outPcap); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(script string, stdin, mwn bool, count, size int, rate float64, delay int64, seed uint64, outPcap string) error {
+	g := pktgen.New(seed)
+	g.Config.Count = count
+	if size > 0 {
+		g.Config.PktSize = size
+	}
+	if rate > 0 {
+		g.Config.TargetRate = rate * 1e6
+	}
+	g.Config.DelayNS = delay
+
+	if mwn {
+		d, err := dist.Build(trace.MWNCounts(1_000_000), dist.DefaultParams())
+		if err != nil {
+			return err
+		}
+		g.LoadDistribution(d)
+	}
+	feed := func(r io.Reader, name string) error {
+		sc := bufio.NewScanner(r)
+		lineNo := 0
+		for sc.Scan() {
+			lineNo++
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if strings.HasPrefix(line, "pgset") {
+				line = strings.Trim(strings.TrimSpace(strings.TrimPrefix(line, "pgset")), `"`)
+			}
+			if err := g.Pgset(line); err != nil {
+				return fmt.Errorf("%s:%d: %w", name, lineNo, err)
+			}
+		}
+		return sc.Err()
+	}
+	if script != "" {
+		f, err := os.Open(script)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := feed(f, script); err != nil {
+			return err
+		}
+	}
+	if stdin {
+		if err := feed(os.Stdin, "stdin"); err != nil {
+			return err
+		}
+	}
+	if g.DistReady() && !g.SizeReal() {
+		if err := g.Pgset("flag PKTSIZE_REAL"); err != nil {
+			return err
+		}
+	}
+
+	var pw *pcapfile.Writer
+	if outPcap != "" {
+		f, err := os.Create(outPcap)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pw = pcapfile.NewWriter(f, 65535)
+	}
+	base := time.Date(2005, time.November, 15, 0, 0, 0, 0, time.UTC)
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		if pw != nil {
+			if err := pw.WritePacket(base.Add(time.Duration(p.At)), p.Data, len(p.Data)); err != nil {
+				return err
+			}
+		}
+	}
+	if pw != nil {
+		if err := pw.Flush(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("generated %d packets, %d frame bytes (%d on the wire)\n",
+		g.Sent, g.SentBytes, g.WireBytes)
+	fmt.Printf("duration %.6f s, wire rate %.1f Mbit/s, frame rate %.1f Mbit/s, %.1f kpps\n",
+		g.LastTime.Seconds(), g.AchievedRate()/1e6, g.FrameRate()/1e6,
+		float64(g.Sent)/g.LastTime.Seconds()/1e3)
+	return nil
+}

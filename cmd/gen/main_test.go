@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pcapfile"
+)
+
+func TestGenWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "train.pcap")
+	if err := run("", false, true, 500, 0, 400, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := pcapfile.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, _, err := r.Next()
+		if err != nil {
+			break
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("trace has %d packets, want 500", n)
+	}
+}
+
+func TestGenScript(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "cmds.pgset")
+	content := "# comment\npgset \"pkt_size 700\"\ncount 100\n"
+	if err := os.WriteFile(script, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "t.pcap")
+	if err := run(script, false, false, 0, 0, 0, 0, 1, out); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	r, err := pcapfile.NewReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.CapLen != 700 {
+		t.Fatalf("frame size %d, want 700 (from script)", info.CapLen)
+	}
+}
+
+func TestGenBadScript(t *testing.T) {
+	dir := t.TempDir()
+	script := filepath.Join(dir, "bad.pgset")
+	os.WriteFile(script, []byte("definitely not a command\n"), 0o644)
+	if err := run(script, false, false, 10, 0, 0, 0, 1, ""); err == nil {
+		t.Fatal("bad script accepted")
+	}
+}

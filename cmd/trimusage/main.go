@@ -1,0 +1,55 @@
+// trimusage postprocesses cpusage output (§A.4): it extracts the longest
+// run of samples whose idle value stays below the limit — the actual
+// measurement window — and prints the trimmed samples plus their summary,
+// like the original awk script.
+//
+//	cpusage -system swan -o | trimusage -limit 95
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cpuprof"
+)
+
+func main() {
+	var (
+		limit   = flag.Float64("limit", 95, "idle limit: samples with idle >= limit are trimmed")
+		inFile  = flag.String("i", "", "input file (default: standard input)")
+		machine = flag.Bool("o", true, "machine-readable output")
+	)
+	flag.Parse()
+	if err := run(*limit, *inFile, *machine); err != nil {
+		fmt.Fprintln(os.Stderr, "trimusage:", err)
+		os.Exit(1)
+	}
+}
+
+func run(limit float64, inFile string, machine bool) error {
+	in := io.Reader(os.Stdin)
+	if inFile != "" {
+		f, err := os.Open(inFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	samples, os_, err := cpuprof.Parse(in)
+	if err != nil {
+		return err
+	}
+	trimmed := cpuprof.Trim(samples, limit)
+	if err := cpuprof.Write(os.Stdout, trimmed, os_, machine); err != nil {
+		return err
+	}
+	sum := cpuprof.Summarize(trimmed)
+	fmt.Printf("# %d of %d samples in the longest busy run (idle < %.0f)\n",
+		len(trimmed), len(samples), limit)
+	fmt.Printf("# Avg: user %.1f%% sys %.1f%% softirq %.1f%% intr %.1f%% idle %.1f%%\n",
+		sum.Avg.User, sum.Avg.Sys, sum.Avg.Soft, sum.Avg.Intr, sum.Avg.Idle)
+	return nil
+}

@@ -1,0 +1,152 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"time"
+
+	"repro"
+)
+
+// ExampleRun measures one system at one data rate — the minimal use of
+// the package.
+func ExampleRun() {
+	w := repro.Workload{Packets: 20_000, TargetRate: 600e6, Seed: 1}
+	cfg := repro.Moorhen() // FreeBSD 5.4 / dual AMD Opteron
+	cfg.BufferBytes = 10 << 20
+	st := repro.Run(cfg, w)
+	fmt.Printf("moorhen at 600 Mbit/s: %.0f%% captured\n", st.CaptureRate())
+	// Output:
+	// moorhen at 600 Mbit/s: 100% captured
+}
+
+// ExampleCompileFilter compiles the thesis's Figure 6.5 measurement
+// filter and shows its classic-BPF size.
+func ExampleCompileFilter() {
+	prog, err := repro.CompileFilter(repro.ReferenceFilter, 1515)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d BPF instructions\n", len(prog))
+	// Output:
+	// 50 BPF instructions
+}
+
+// ExampleNewGenerator drives the enhanced pktgen through its pgset
+// command interface.
+func ExampleNewGenerator() {
+	g := repro.NewGenerator(7)
+	for _, cmd := range []string{
+		"count 3",
+		"pkt_size 1500",
+		"dst 192.168.10.12",
+	} {
+		if err := g.Pgset(cmd); err != nil {
+			panic(err)
+		}
+	}
+	n := 0
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		n++
+		_ = p
+	}
+	fmt.Printf("generated %d frames, %d bytes\n", n, g.SentBytes)
+	// Output:
+	// generated 3 frames, 4500 bytes
+}
+
+// ExampleOpenOffline reads a synthesized trace back through the
+// libpcap-style Handle with a filter installed.
+func ExampleOpenOffline() {
+	var trace bytes.Buffer
+	if err := repro.SynthesizeTrace(&trace, 100, 1, 0); err != nil {
+		panic(err)
+	}
+	h, err := repro.OpenOffline(&trace)
+	if err != nil {
+		panic(err)
+	}
+	if err := h.SetFilter("udp and greater 100"); err != nil {
+		panic(err)
+	}
+	n := 0
+	for {
+		_, _, err := h.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		n++
+	}
+	st := h.Stats()
+	fmt.Printf("passed %d, filtered %d, total %d\n", n, st.Filtered, n+int(st.Filtered))
+	// Output:
+	// passed 54, filtered 46, total 100
+}
+
+// ExampleNewFlowTable accounts packets per connection.
+func ExampleNewFlowTable() {
+	var trace bytes.Buffer
+	if err := repro.SynthesizeTrace(&trace, 50, 1, 0); err != nil {
+		panic(err)
+	}
+	h, err := repro.OpenOffline(&trace)
+	if err != nil {
+		panic(err)
+	}
+	tbl := repro.NewFlowTable(true)
+	for {
+		info, data, err := h.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			panic(err)
+		}
+		repro.ObserveFlow(tbl, info.Timestamp, data)
+	}
+	// The synthetic trace is one UDP flow.
+	fmt.Printf("%d flow(s)\n", tbl.Len())
+	// Output:
+	// 1 flow(s)
+}
+
+// ExampleNewTestbed runs one full §3.4 measurement cycle over all four
+// sniffers, with switch counters as ground truth.
+func ExampleNewTestbed() {
+	tb := repro.NewTestbed(repro.Workload{Packets: 5_000, TargetRate: 400e6, Seed: 1})
+	res, err := tb.RunCycle(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("switch counted %d packets for %d sniffers\n",
+		res.GeneratedBySwitch(), len(res.Sniffers))
+	// Output:
+	// switch counted 5000 packets for 4 sniffers
+}
+
+// ExampleFormatPacket prints a captured frame like tcpdump.
+func ExampleFormatPacket() {
+	var trace bytes.Buffer
+	if err := repro.SynthesizeTrace(&trace, 1, 1, 0); err != nil {
+		panic(err)
+	}
+	h, err := repro.OpenOffline(&trace)
+	if err != nil {
+		panic(err)
+	}
+	_, data, err := h.ReadPacket()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(repro.FormatPacket(time.Time{}, data))
+	// Output:
+	// IP 192.168.10.100.9 > 192.168.10.12.9: UDP, length 16
+}

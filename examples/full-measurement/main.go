@@ -1,0 +1,61 @@
+// full-measurement drives the complete Chapter 3 methodology: the
+// generator behind the monitoring switch, SNMP counters as ground truth,
+// the optical splitter feeding all four sniffers, cpusage profiling on
+// every box, and several repetitions of the measurement cycle — the whole
+// super.sh / start.sh / stop.sh choreography of §3.4 in one program.
+//
+//	go run ./examples/full-measurement
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	tb := repro.NewTestbed(repro.Workload{
+		Packets:    30_000,
+		TargetRate: 850e6,
+		Seed:       1,
+	})
+	tb.ProfileInterval = repro.ProfileEveryHalfSecond
+
+	const reps = 3 // the thesis uses seven
+	m, err := tb.RunMeasurement(reps)
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("=== %d repetitions at 850 Mbit/s ===\n", reps)
+	fmt.Print(m.Report())
+
+	fmt.Println("\n=== aggregated capture rates (min/avg/max over repetitions) ===")
+	rates := m.CaptureRates()
+	for _, name := range []string{"swan", "snipe", "moorhen", "flamingo"} {
+		min, max, sum := 200.0, -1.0, 0.0
+		for _, r := range rates[name] {
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+			sum += r
+		}
+		fmt.Printf("%-9s min %6.2f%%  avg %6.2f%%  max %6.2f%%\n",
+			name, min, sum/float64(len(rates[name])), max)
+	}
+
+	fmt.Println("\n=== trimmed cpusage averages of the last repetition ===")
+	last := m.Runs[len(m.Runs)-1]
+	for _, s := range last.Sniffers {
+		u := s.UsageAvg
+		fmt.Printf("%-9s user %5.1f%%  sys %5.1f%%  softirq %5.1f%%  intr %5.1f%%  idle %5.1f%%\n",
+			s.Name, u.User, u.Sys, u.Soft, u.Intr, u.Idle)
+	}
+
+	c := tb.Switch.ReadSNMP()
+	fmt.Printf("\nswitch SNMP totals: %d packets, %d octets forwarded to the splitter\n",
+		c.OutUcastPkts, c.OutOctets)
+}

@@ -1,0 +1,43 @@
+// multiapp-fairness: several tools capturing the same link at once.
+//
+// Reproduces the §6.3.3 comparison: FreeBSD's per-attachment double
+// buffers give every application nearly the same share (±5 %), while
+// Linux under overload serves applications very unevenly and eventually
+// collapses (Figures 6.7–6.9).
+//
+//	go run ./examples/multiapp-fairness
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	w := repro.Workload{Packets: 60_000, TargetRate: 900e6, Seed: 1}
+	for _, napps := range []int{2, 4, 8} {
+		fmt.Printf("\n=== %d concurrent capturing applications at 900 Mbit/s ===\n", napps)
+		for _, base := range []repro.Config{repro.Swan(), repro.Moorhen()} {
+			cfg := base
+			cfg.NumCPUs = 2
+			cfg.NumApps = napps
+			if cfg.OS == repro.Linux {
+				cfg.BufferBytes = 128 << 20
+			} else {
+				cfg.BufferBytes = 10 << 20
+			}
+			st := repro.Run(cfg, w)
+			fmt.Printf("%-8s (%v): per-app %%:", cfg.Name, cfg.OS)
+			for _, c := range st.AppCaptured {
+				fmt.Printf(" %6.2f", float64(c)/float64(st.Generated)*100)
+			}
+			worst, avg, best := st.AppRates()
+			fmt.Printf("   [worst %.1f avg %.1f best %.1f]\n", worst, avg, best)
+		}
+	}
+	fmt.Println("\nThesis §6.3.3: \"one should avoid using multiple capturing")
+	fmt.Println("applications simultaneously\" — Linux' capturing rate \"drops")
+	fmt.Println("nearly to zero when the system is under overload\", FreeBSD")
+	fmt.Println("\"shares resources more evenly between the applications\".")
+}

@@ -1,0 +1,40 @@
+// Quickstart: measure the four systems of the thesis at one data rate.
+//
+// This is the minimal use of the public API: build the systems, define a
+// workload (packet count, target rate, seed), run, and read the capturing
+// rate — the thesis's headline metric — plus CPU usage.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	w := repro.Workload{
+		Packets:    50_000, // the thesis uses 1M per run; 50k time-compresses it
+		TargetRate: 800e6,  // 800 Mbit/s on the wire
+		Seed:       1,
+	}
+	fmt.Println("system     OS       CPUs  capture%   CPU%")
+	for _, cfg := range repro.Sniffers() {
+		for _, ncpu := range []int{1, 2} {
+			c := cfg
+			c.NumCPUs = ncpu
+			// The buffer sizes the thesis settles on (§6.3.1).
+			if c.OS == repro.Linux {
+				c.BufferBytes = 128 << 20
+			} else {
+				c.BufferBytes = 10 << 20
+			}
+			st := repro.Run(c, w)
+			fmt.Printf("%-10s %-8v %4d  %7.2f  %6.1f\n",
+				c.Name, c.OS, ncpu, st.CaptureRate(), st.CPUUsage())
+		}
+	}
+	fmt.Println("\nExpected shape (thesis §7.1): FreeBSD/Opteron (moorhen) loses")
+	fmt.Println("(nearly) nothing; FreeBSD/Xeon (flamingo) is the weakest link.")
+}

@@ -1,0 +1,61 @@
+package arch
+
+import "testing"
+
+func TestProfilesEncodeTheThesisContrasts(t *testing.T) {
+	amd, intel := Opteron244(), Xeon306()
+	// The Opteron is the overall winner: cheaper fixed kernel work,
+	// cheaper copies, less memory contention, bigger cache.
+	if amd.FixedCost >= intel.FixedCost {
+		t.Error("Opteron fixed cost should be below Xeon")
+	}
+	if amd.MemNsPerByte >= intel.MemNsPerByte {
+		t.Error("Opteron copy cost should be below Xeon")
+	}
+	if amd.MemContention >= intel.MemContention {
+		t.Error("the shared FSB must contend more than HyperTransport")
+	}
+	if amd.CacheBytes <= intel.CacheBytes {
+		t.Error("Opteron 244 has the larger L2")
+	}
+	// ... except for zlib, where the thesis saw Intel ahead.
+	if intel.ZlibNsPerByteL3 >= amd.ZlibNsPerByteL3 {
+		t.Error("Xeon should compress faster at level 3")
+	}
+	if intel.ZlibNsPerByteL9 >= amd.ZlibNsPerByteL9 {
+		t.Error("Xeon should compress faster at level 9")
+	}
+	// Only the Xeon has Hyperthreading.
+	if amd.HasHyperthreading || !intel.HasHyperthreading {
+		t.Error("HT availability wrong")
+	}
+	// Neither disk reaches the 125 MB/s a loaded GigE would need.
+	if amd.DiskWriteMBps >= 125 || intel.DiskWriteMBps >= 125 {
+		t.Error("disks must be slower than line speed (Figure 6.13)")
+	}
+}
+
+func TestZlibInterpolation(t *testing.T) {
+	p := Opteron244()
+	if p.ZlibNsPerByte(0) <= 0 {
+		t.Error("level 0 should still cost framing")
+	}
+	if got := p.ZlibNsPerByte(3); got != p.ZlibNsPerByteL3 {
+		t.Errorf("level 3 = %v, want anchor %v", got, p.ZlibNsPerByteL3)
+	}
+	if got := p.ZlibNsPerByte(9); got != p.ZlibNsPerByteL9 {
+		t.Errorf("level 9 = %v, want anchor %v", got, p.ZlibNsPerByteL9)
+	}
+	if got := p.ZlibNsPerByte(12); got != p.ZlibNsPerByteL9 {
+		t.Errorf("level 12 clamped = %v", got)
+	}
+	// Monotone between the anchors.
+	prev := 0.0
+	for l := 1; l <= 9; l++ {
+		v := p.ZlibNsPerByte(l)
+		if v <= prev {
+			t.Fatalf("zlib cost not increasing at level %d: %v <= %v", l, v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,316 @@
+package bpf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// formatInstruction renders one instruction in tcpdump -d style.
+func formatInstruction(ins Instruction) (string, error) {
+	switch ins.Class() {
+	case ClassLD, ClassLDX:
+		name := "ld"
+		if ins.Class() == ClassLDX {
+			name = "ldx"
+		}
+		switch ins.Op & 0x18 {
+		case SizeH:
+			name += "h"
+		case SizeB:
+			name += "b"
+		}
+		switch ins.Op & 0xe0 {
+		case ModeIMM:
+			return fmt.Sprintf("%-8s #%#x", name, ins.K), nil
+		case ModeABS:
+			return fmt.Sprintf("%-8s [%d]", name, ins.K), nil
+		case ModeIND:
+			return fmt.Sprintf("%-8s [x + %d]", name, ins.K), nil
+		case ModeMEM:
+			return fmt.Sprintf("%-8s M[%d]", name, ins.K), nil
+		case ModeLEN:
+			return fmt.Sprintf("%-8s len", name), nil
+		case ModeMSH:
+			return fmt.Sprintf("%-8s 4*([%d]&0xf)", name, ins.K), nil
+		}
+		return "", fmt.Errorf("bad load mode %#x", ins.Op)
+	case ClassST:
+		return fmt.Sprintf("%-8s M[%d]", "st", ins.K), nil
+	case ClassSTX:
+		return fmt.Sprintf("%-8s M[%d]", "stx", ins.K), nil
+	case ClassALU:
+		var name string
+		switch ins.Op & 0xf0 {
+		case ALUAdd:
+			name = "add"
+		case ALUSub:
+			name = "sub"
+		case ALUMul:
+			name = "mul"
+		case ALUDiv:
+			name = "div"
+		case ALUMod:
+			name = "mod"
+		case ALUOr:
+			name = "or"
+		case ALUAnd:
+			name = "and"
+		case ALULsh:
+			name = "lsh"
+		case ALURsh:
+			name = "rsh"
+		case ALUXor:
+			name = "xor"
+		case ALUNeg:
+			return "neg", nil
+		default:
+			return "", fmt.Errorf("bad ALU op %#x", ins.Op)
+		}
+		if ins.Op&SrcX != 0 {
+			return fmt.Sprintf("%-8s x", name), nil
+		}
+		return fmt.Sprintf("%-8s #%#x", name, ins.K), nil
+	case ClassJMP:
+		switch ins.Op & 0xf0 {
+		case JmpJA:
+			return fmt.Sprintf("%-8s +%d", "ja", ins.K), nil
+		case JmpJEQ, JmpJGT, JmpJGE, JmpJSET:
+			var name string
+			switch ins.Op & 0xf0 {
+			case JmpJEQ:
+				name = "jeq"
+			case JmpJGT:
+				name = "jgt"
+			case JmpJGE:
+				name = "jge"
+			case JmpJSET:
+				name = "jset"
+			}
+			operand := fmt.Sprintf("#%#x", ins.K)
+			if ins.Op&SrcX != 0 {
+				operand = "x"
+			}
+			return fmt.Sprintf("%-8s %-14s jt %d\tjf %d", name, operand, ins.Jt, ins.Jf), nil
+		}
+		return "", fmt.Errorf("bad jump op %#x", ins.Op)
+	case ClassRET:
+		if ins.Op&0x18 == RetA {
+			return fmt.Sprintf("%-8s a", "ret"), nil
+		}
+		return fmt.Sprintf("%-8s #%d", "ret", ins.K), nil
+	case ClassMISC:
+		if ins.Op&0xf8 == MiscTAX {
+			return "tax", nil
+		}
+		return "txa", nil
+	}
+	return "", fmt.Errorf("bad class %#x", ins.Op)
+}
+
+// Assemble parses a program in the syntax produced by Program.String /
+// tcpdump -d. Leading "(NNN)" indices and blank lines are ignored; jump
+// targets are the relative jt/jf/+k offsets of the classic format.
+func Assemble(src string) (Program, error) {
+	var prog Program
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, ";") || strings.HasPrefix(line, "#") && !strings.ContainsAny(line, " \t") {
+			continue
+		}
+		if strings.HasPrefix(line, "(") {
+			if i := strings.Index(line, ")"); i >= 0 {
+				line = strings.TrimSpace(line[i+1:])
+			}
+		}
+		ins, err := assembleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("bpf: line %d: %w", lineNo+1, err)
+		}
+		prog = append(prog, ins)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func assembleLine(line string) (Instruction, error) {
+	fields := strings.Fields(strings.ReplaceAll(line, "\t", " "))
+	if len(fields) == 0 {
+		return Instruction{}, fmt.Errorf("empty instruction")
+	}
+	mnem, args := fields[0], fields[1:]
+	switch mnem {
+	case "ld", "ldh", "ldb", "ldx", "ldxb":
+		return assembleLoad(mnem, strings.Join(args, " "))
+	case "st", "stx":
+		k, err := parseMem(strings.Join(args, ""))
+		if err != nil {
+			return Instruction{}, err
+		}
+		cls := uint16(ClassST)
+		if mnem == "stx" {
+			cls = ClassSTX
+		}
+		return Instruction{Op: cls, K: k}, nil
+	case "add", "sub", "mul", "div", "mod", "or", "and", "lsh", "rsh", "xor":
+		ops := map[string]uint16{
+			"add": ALUAdd, "sub": ALUSub, "mul": ALUMul, "div": ALUDiv,
+			"mod": ALUMod, "or": ALUOr, "and": ALUAnd, "lsh": ALULsh,
+			"rsh": ALURsh, "xor": ALUXor,
+		}
+		if len(args) != 1 {
+			return Instruction{}, fmt.Errorf("%s needs one operand", mnem)
+		}
+		if args[0] == "x" {
+			return Instruction{Op: ClassALU | ops[mnem] | SrcX}, nil
+		}
+		k, err := parseImm(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: ClassALU | ops[mnem] | SrcK, K: k}, nil
+	case "neg":
+		return Instruction{Op: ClassALU | ALUNeg}, nil
+	case "ja", "jmp":
+		if len(args) != 1 {
+			return Instruction{}, fmt.Errorf("ja needs one operand")
+		}
+		k, err := strconv.ParseUint(strings.TrimPrefix(args[0], "+"), 0, 32)
+		if err != nil {
+			return Instruction{}, err
+		}
+		return JumpAlways(uint32(k)), nil
+	case "jeq", "jgt", "jge", "jset":
+		ops := map[string]uint16{"jeq": JmpJEQ, "jgt": JmpJGT, "jge": JmpJGE, "jset": JmpJSET}
+		// Syntax: jeq #k jt N jf M   (or "jeq x jt N jf M")
+		if len(args) != 5 || args[1] != "jt" || args[3] != "jf" {
+			return Instruction{}, fmt.Errorf("want %q", mnem+" #k jt N jf M")
+		}
+		jt, err1 := strconv.ParseUint(args[2], 10, 8)
+		jf, err2 := strconv.ParseUint(args[4], 10, 8)
+		if err1 != nil || err2 != nil {
+			return Instruction{}, fmt.Errorf("bad jump offsets %q %q", args[2], args[4])
+		}
+		if args[0] == "x" {
+			return Instruction{Op: ClassJMP | ops[mnem] | SrcX, Jt: uint8(jt), Jf: uint8(jf)}, nil
+		}
+		k, err := parseImm(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: ClassJMP | ops[mnem] | SrcK, Jt: uint8(jt), Jf: uint8(jf), K: k}, nil
+	case "ret":
+		if len(args) != 1 {
+			return Instruction{}, fmt.Errorf("ret needs one operand")
+		}
+		if args[0] == "a" {
+			return RetAcc(), nil
+		}
+		k, err := parseImm(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return RetConst(k), nil
+	case "tax":
+		return TAX(), nil
+	case "txa":
+		return TXA(), nil
+	}
+	return Instruction{}, fmt.Errorf("unknown mnemonic %q", mnem)
+}
+
+func assembleLoad(mnem, operand string) (Instruction, error) {
+	operand = strings.TrimSpace(operand)
+	var cls, size uint16
+	switch mnem {
+	case "ld":
+		cls, size = ClassLD, SizeW
+	case "ldh":
+		cls, size = ClassLD, SizeH
+	case "ldb":
+		cls, size = ClassLD, SizeB
+	case "ldx":
+		cls, size = ClassLDX, SizeW
+	case "ldxb":
+		cls, size = ClassLDX, SizeB
+	}
+	switch {
+	case operand == "len":
+		return Instruction{Op: cls | SizeW | ModeLEN}, nil
+	case strings.HasPrefix(operand, "#"):
+		k, err := parseImm(operand)
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: cls | SizeW | ModeIMM, K: k}, nil
+	case strings.HasPrefix(operand, "M["):
+		k, err := parseMem(operand)
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: cls | SizeW | ModeMEM, K: k}, nil
+	case strings.HasPrefix(operand, "4*(["):
+		// 4*([k]&0xf)
+		rest := strings.TrimPrefix(operand, "4*([")
+		end := strings.Index(rest, "]")
+		if end < 0 || !strings.HasSuffix(strings.ReplaceAll(rest, " ", ""), "]&0xf)") {
+			return Instruction{}, fmt.Errorf("bad MSH operand %q", operand)
+		}
+		k, err := strconv.ParseUint(rest[:end], 0, 32)
+		if err != nil {
+			return Instruction{}, err
+		}
+		if cls != ClassLDX {
+			return Instruction{}, fmt.Errorf("MSH mode requires ldx")
+		}
+		return LoadMSHX(uint32(k)), nil
+	case strings.HasPrefix(operand, "[x"):
+		// [x + k]
+		inner := strings.Trim(operand, "[]")
+		inner = strings.TrimPrefix(inner, "x")
+		inner = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(inner), "+"))
+		var k uint64
+		var err error
+		if inner != "" {
+			k, err = strconv.ParseUint(inner, 0, 32)
+			if err != nil {
+				return Instruction{}, err
+			}
+		}
+		if cls == ClassLDX {
+			return Instruction{}, fmt.Errorf("ldx does not support IND mode")
+		}
+		return Instruction{Op: cls | size | ModeIND, K: uint32(k)}, nil
+	case strings.HasPrefix(operand, "["):
+		inner := strings.Trim(operand, "[]")
+		k, err := strconv.ParseUint(inner, 0, 32)
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: cls | size | ModeABS, K: uint32(k)}, nil
+	}
+	return Instruction{}, fmt.Errorf("bad load operand %q", operand)
+}
+
+func parseImm(s string) (uint32, error) {
+	s = strings.TrimPrefix(s, "#")
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return uint32(v), nil
+}
+
+func parseMem(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "M[") || !strings.HasSuffix(s, "]") {
+		return 0, fmt.Errorf("bad scratch operand %q", s)
+	}
+	v, err := strconv.ParseUint(s[2:len(s)-1], 0, 32)
+	if err != nil {
+		return 0, err
+	}
+	return uint32(v), nil
+}

@@ -1,0 +1,324 @@
+package bpf
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+)
+
+// classicIPFilter is the canonical "ip" filter: accept Ethernet frames with
+// EtherType 0x0800.
+func classicIPFilter() Program {
+	return Program{
+		LoadAbs(SizeH, 12),
+		JumpIf(JmpJEQ, 0x0800, 0, 1),
+		RetConst(65535),
+		RetConst(0),
+	}
+}
+
+func udpFrame(t *testing.T, frameLen int) []byte {
+	t.Helper()
+	return pkt.BuildUDP(nil, pkt.UDPSpec{
+		SrcIP:   netip.MustParseAddr("192.168.10.100"),
+		DstIP:   netip.MustParseAddr("192.168.10.12"),
+		SrcPort: 9, DstPort: 9,
+		FrameLen: frameLen,
+	})
+}
+
+func TestValidateAcceptsClassicFilter(t *testing.T) {
+	if err := classicIPFilter().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAcceptsIP(t *testing.T) {
+	frame := udpFrame(t, 100)
+	res, err := classicIPFilter().Run(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept == 0 {
+		t.Fatal("IP frame rejected by ip filter")
+	}
+	if res.Instructions != 3 {
+		t.Fatalf("instructions = %d, want 3", res.Instructions)
+	}
+}
+
+func TestRunRejectsNonIP(t *testing.T) {
+	frame := make([]byte, 60)
+	pkt.EncodeEthernet(frame, pkt.Ethernet{EtherType: pkt.EtherTypeARP})
+	res, err := classicIPFilter().Run(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 0 {
+		t.Fatal("ARP frame accepted by ip filter")
+	}
+}
+
+func TestOutOfBoundsLoadRejects(t *testing.T) {
+	prog := Program{LoadAbs(SizeW, 1000), RetConst(65535)}
+	res, err := prog.Run(make([]byte, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 0 {
+		t.Fatal("out-of-bounds load accepted packet")
+	}
+}
+
+func TestScratchMemory(t *testing.T) {
+	prog := Program{
+		LoadImm(42),
+		StoreA(3),
+		LoadImm(0),
+		LoadMemA(3),
+		RetAcc(),
+	}
+	res, err := prog.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 42 {
+		t.Fatalf("accept = %d, want 42", res.Accept)
+	}
+}
+
+func TestALUOps(t *testing.T) {
+	cases := []struct {
+		op   uint16
+		k    uint32
+		init uint32
+		want uint32
+	}{
+		{ALUAdd, 5, 10, 15},
+		{ALUSub, 3, 10, 7},
+		{ALUMul, 4, 10, 40},
+		{ALUDiv, 2, 10, 5},
+		{ALUMod, 3, 10, 1},
+		{ALUOr, 0x0f, 0xf0, 0xff},
+		{ALUAnd, 0x0f, 0xff, 0x0f},
+		{ALULsh, 4, 1, 16},
+		{ALURsh, 2, 16, 4},
+		{ALUXor, 0xff, 0x0f, 0xf0},
+	}
+	for _, c := range cases {
+		prog := Program{LoadImm(c.init), ALUOpK(c.op, c.k), RetAcc()}
+		res, err := prog.Run(nil)
+		if err != nil {
+			t.Fatalf("op %#x: %v", c.op, err)
+		}
+		if res.Accept != c.want {
+			t.Errorf("op %#x: got %d, want %d", c.op, res.Accept, c.want)
+		}
+	}
+}
+
+func TestNeg(t *testing.T) {
+	prog := Program{LoadImm(1), Instruction{Op: ClassALU | ALUNeg}, RetAcc()}
+	res, err := prog.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 0xffffffff {
+		t.Fatalf("neg 1 = %#x", res.Accept)
+	}
+}
+
+func TestRuntimeDivideByZero(t *testing.T) {
+	prog := Program{
+		LoadImm(10),
+		LoadImmX(0),
+		{Op: ClassALU | ALUDiv | SrcX},
+		RetAcc(),
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := prog.Run(nil)
+	if err != ErrDivideByZero {
+		t.Fatalf("err = %v, want ErrDivideByZero", err)
+	}
+}
+
+func TestMSHLoadsIPHeaderLength(t *testing.T) {
+	frame := udpFrame(t, 100)
+	prog := Program{
+		LoadMSHX(14), // X <- 4 * IHL
+		TXA(),
+		RetAcc(),
+	}
+	res, err := prog.Run(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 20 {
+		t.Fatalf("MSH = %d, want 20", res.Accept)
+	}
+}
+
+func TestIndirectLoadReadsUDPPort(t *testing.T) {
+	frame := udpFrame(t, 100)
+	prog := Program{
+		LoadMSHX(14),
+		LoadInd(SizeH, 16), // dst port at 14 + IHL + 2
+		RetAcc(),
+	}
+	res, err := prog.Run(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 9 {
+		t.Fatalf("dst port = %d, want 9", res.Accept)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := map[string]Program{
+		"empty":              {},
+		"no ret":             {LoadImm(1)},
+		"bad jump":           {JumpIf(JmpJEQ, 0, 200, 200), RetConst(0)},
+		"bad ja":             {JumpAlways(100), RetConst(0)},
+		"bad scratch":        {StoreA(99), RetConst(0)},
+		"const div by zero":  {LoadImm(1), ALUOpK(ALUDiv, 0), RetConst(0)},
+		"unknown class bits": {{Op: 0xffff}, RetConst(0)},
+	}
+	for name, prog := range cases {
+		if err := prog.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid program", name)
+		}
+	}
+}
+
+func TestLenInstruction(t *testing.T) {
+	prog := Program{LoadLen(), RetAcc()}
+	res, err := prog.Run(make([]byte, 123))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 123 {
+		t.Fatalf("len = %d", res.Accept)
+	}
+}
+
+func TestJumpAlwaysSkips(t *testing.T) {
+	prog := Program{
+		JumpAlways(1),
+		RetConst(1), // skipped
+		RetConst(2),
+	}
+	res, err := prog.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 2 {
+		t.Fatalf("accept = %d, want 2", res.Accept)
+	}
+}
+
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	prog := Program{
+		LoadAbs(SizeH, 12),
+		JumpIf(JmpJEQ, 0x0800, 0, 3),
+		LoadMSHX(14),
+		LoadInd(SizeB, 14),
+		RetAcc(),
+		RetConst(0),
+	}
+	text := prog.String()
+	got, err := Assemble(text)
+	if err != nil {
+		t.Fatalf("assemble failed:\n%s\n%v", text, err)
+	}
+	if len(got) != len(prog) {
+		t.Fatalf("length = %d, want %d", len(got), len(prog))
+	}
+	for i := range prog {
+		if got[i] != prog[i] {
+			t.Fatalf("instr %d = %+v, want %+v\nsource:\n%s", i, got[i], prog[i], text)
+		}
+	}
+}
+
+// Property: disassembling and reassembling any valid generated program is
+// the identity.
+func TestAsmRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		prog := randomProgram(seed)
+		if err := prog.Validate(); err != nil {
+			return true // generator made something invalid; skip
+		}
+		got, err := Assemble(prog.String())
+		if err != nil {
+			return false
+		}
+		if len(got) != len(prog) {
+			return false
+		}
+		for i := range prog {
+			if got[i] != prog[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomProgram builds a small structurally valid program from a seed.
+func randomProgram(seed int64) Program {
+	s := uint64(seed)
+	next := func(n int) int {
+		s = s*6364136223846793005 + 1442695040888963407
+		return int((s >> 33) % uint64(n))
+	}
+	var prog Program
+	n := 3 + next(10)
+	for i := 0; i < n; i++ {
+		switch next(7) {
+		case 0:
+			prog = append(prog, LoadAbs(uint16([]int{SizeW, SizeH, SizeB}[next(3)]), uint32(next(64))))
+		case 1:
+			prog = append(prog, LoadImm(uint32(next(1000))))
+		case 2:
+			prog = append(prog, StoreA(uint32(next(MemSlots))))
+		case 3:
+			prog = append(prog, ALUOpK(uint16([]int{ALUAdd, ALUSub, ALUAnd, ALUOr}[next(4)]), uint32(next(256))))
+		case 4:
+			prog = append(prog, LoadMSHX(uint32(next(32))))
+		case 5:
+			prog = append(prog, TAX())
+		case 6:
+			jt, jf := 0, 0 // keep jumps trivially in bounds
+			prog = append(prog, JumpIf(JmpJEQ, uint32(next(100)), uint8(jt), uint8(jf)))
+		}
+	}
+	prog = append(prog, RetConst(uint32(next(65536))))
+	return prog
+}
+
+// Property: Run never reports more instructions than the program length for
+// loop-free (forward-jump-only) programs... every valid classic BPF program.
+func TestInstructionCountBound(t *testing.T) {
+	f := func(seed int64, pktLen uint8) bool {
+		prog := randomProgram(seed)
+		if err := prog.Validate(); err != nil {
+			return true
+		}
+		res, err := prog.Run(make([]byte, pktLen))
+		if err != nil && err != ErrDivideByZero {
+			return false
+		}
+		return res.Instructions <= len(prog)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

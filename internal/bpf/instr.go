@@ -1,0 +1,173 @@
+// Package bpf implements the classic BSD Packet Filter virtual machine as
+// introduced by McCanne and Jacobson [MJ93] and used (unchanged at the
+// instruction-set level) by both the FreeBSD BPF and the Linux Socket
+// Filter that the thesis compares.
+//
+// The package provides the instruction encoding, a validator, an
+// interpreter that also reports the number of instructions retired (the
+// thesis prices filtering by executed filter instructions), and a
+// two-way assembler for a tcpdump-like mnemonic syntax.
+package bpf
+
+import "fmt"
+
+// Instruction classes (low 3 bits of Op).
+const (
+	ClassLD   = 0x00 // load into accumulator A
+	ClassLDX  = 0x01 // load into index register X
+	ClassST   = 0x02 // store A into scratch memory
+	ClassSTX  = 0x03 // store X into scratch memory
+	ClassALU  = 0x04 // arithmetic on A
+	ClassJMP  = 0x05 // conditional and unconditional jumps
+	ClassRET  = 0x06 // terminate, returning the accept length
+	ClassMISC = 0x07 // register transfers
+)
+
+// Load sizes (bits 3-4 for LD/LDX).
+const (
+	SizeW = 0x00 // 32-bit word
+	SizeH = 0x08 // 16-bit halfword
+	SizeB = 0x10 // byte
+)
+
+// Load modes (bits 5-7 for LD/LDX).
+const (
+	ModeIMM = 0x00 // A <- k
+	ModeABS = 0x20 // A <- pkt[k]
+	ModeIND = 0x40 // A <- pkt[X+k]
+	ModeMEM = 0x60 // A <- M[k]
+	ModeLEN = 0x80 // A <- packet length
+	ModeMSH = 0xa0 // X <- 4*(pkt[k]&0xf)   (IP header length helper, LDX only)
+)
+
+// ALU operations (bits 4-7).
+const (
+	ALUAdd = 0x00
+	ALUSub = 0x10
+	ALUMul = 0x20
+	ALUDiv = 0x30
+	ALUOr  = 0x40
+	ALUAnd = 0x50
+	ALULsh = 0x60
+	ALURsh = 0x70
+	ALUNeg = 0x80
+	ALUMod = 0x90
+	ALUXor = 0xa0
+)
+
+// Jump operations (bits 4-7).
+const (
+	JmpJA   = 0x00
+	JmpJEQ  = 0x10
+	JmpJGT  = 0x20
+	JmpJGE  = 0x30
+	JmpJSET = 0x40
+)
+
+// Operand source for ALU and JMP (bit 3).
+const (
+	SrcK = 0x00 // immediate k
+	SrcX = 0x08 // index register
+)
+
+// Return value source for RET (bits 3-4).
+const (
+	RetK = 0x00
+	RetA = 0x10
+)
+
+// MISC operations.
+const (
+	MiscTAX = 0x00 // X <- A
+	MiscTXA = 0x80 // A <- X
+)
+
+// MemSlots is the number of 32-bit scratch memory cells.
+const MemSlots = 16
+
+// MaxInstructions mirrors BPF_MAXINSNS from the BSD implementation.
+const MaxInstructions = 4096
+
+// Instruction is one BPF instruction in the classic struct bpf_insn layout.
+type Instruction struct {
+	Op     uint16
+	Jt, Jf uint8
+	K      uint32
+}
+
+// Class extracts the instruction class from the opcode.
+func (i Instruction) Class() uint16 { return i.Op & 0x07 }
+
+// Program is a BPF filter program.
+type Program []Instruction
+
+// Helper constructors for the opcode combinations the compiler emits.
+
+// LoadAbs loads size bytes at absolute packet offset k into A.
+func LoadAbs(size uint16, k uint32) Instruction {
+	return Instruction{Op: ClassLD | size | ModeABS, K: k}
+}
+
+// LoadInd loads size bytes at packet offset X+k into A.
+func LoadInd(size uint16, k uint32) Instruction {
+	return Instruction{Op: ClassLD | size | ModeIND, K: k}
+}
+
+// LoadImm loads the constant k into A.
+func LoadImm(k uint32) Instruction { return Instruction{Op: ClassLD | SizeW | ModeIMM, K: k} }
+
+// LoadLen loads the packet length into A.
+func LoadLen() Instruction { return Instruction{Op: ClassLD | SizeW | ModeLEN} }
+
+// LoadMemA loads scratch cell k into A.
+func LoadMemA(k uint32) Instruction { return Instruction{Op: ClassLD | SizeW | ModeMEM, K: k} }
+
+// LoadMSHX sets X to 4*(pkt[k]&0x0f): the IPv4 header length idiom.
+func LoadMSHX(k uint32) Instruction { return Instruction{Op: ClassLDX | SizeB | ModeMSH, K: k} }
+
+// LoadImmX loads the constant k into X.
+func LoadImmX(k uint32) Instruction { return Instruction{Op: ClassLDX | SizeW | ModeIMM, K: k} }
+
+// StoreA stores A into scratch cell k.
+func StoreA(k uint32) Instruction { return Instruction{Op: ClassST, K: k} }
+
+// ALUOpK applies op with immediate k to A.
+func ALUOpK(op uint16, k uint32) Instruction { return Instruction{Op: ClassALU | op | SrcK, K: k} }
+
+// JumpAlways jumps forward k instructions.
+func JumpAlways(k uint32) Instruction { return Instruction{Op: ClassJMP | JmpJA, K: k} }
+
+// JumpIf emits a conditional jump comparing A to k; jt/jf are the relative
+// skip counts on true/false.
+func JumpIf(op uint16, k uint32, jt, jf uint8) Instruction {
+	return Instruction{Op: ClassJMP | op | SrcK, Jt: jt, Jf: jf, K: k}
+}
+
+// RetConst returns the constant accept length k (0 rejects the packet).
+func RetConst(k uint32) Instruction { return Instruction{Op: ClassRET | RetK, K: k} }
+
+// RetAcc returns the accumulator as the accept length.
+func RetAcc() Instruction { return Instruction{Op: ClassRET | RetA} }
+
+// TXA copies X into A.
+func TXA() Instruction { return Instruction{Op: ClassMISC | MiscTXA} }
+
+// TAX copies A into X.
+func TAX() Instruction { return Instruction{Op: ClassMISC | MiscTAX} }
+
+func (i Instruction) String() string {
+	s, err := formatInstruction(i)
+	if err != nil {
+		return fmt.Sprintf("invalid(op=%#x)", i.Op)
+	}
+	return s
+}
+
+// String renders the program in the assembler syntax accepted by Assemble.
+func (p Program) String() string {
+	out := ""
+	for idx, ins := range p {
+		out += fmt.Sprintf("(%03d) %s\n", idx, ins)
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package bpf
+
+// Optimize applies the classic, semantics-preserving cleanups tcpdump's
+// optimizer performs on generated code:
+//
+//   - jump threading: a conditional branch targeting an unconditional
+//     jump (or a chain of them) is retargeted to the final destination;
+//   - branch-to-return duplication is left to the generator, but a
+//     conditional branch whose two targets are identical becomes an
+//     unconditional fall-through candidate;
+//   - dead-code elimination: instructions no branch or fall-through can
+//     reach are removed and all offsets are re-encoded.
+//
+// The input program must validate; the output validates and computes the
+// same result for every packet. Offsets that would exceed the 8-bit
+// conditional-jump range after rewriting fall back to the original
+// layout (Optimize never fails, it only declines).
+func Optimize(p Program) Program {
+	if p.Validate() != nil {
+		return p
+	}
+	out := append(Program(nil), p...)
+	out = threadJumps(out)
+	out = elimDead(out)
+	if out.Validate() != nil {
+		return p // defensive: never emit something worse than the input
+	}
+	return out
+}
+
+// threadJumps retargets branches that point at unconditional jumps and
+// collapses conditional branches with equal targets into jumps.
+func threadJumps(p Program) Program {
+	// resolve follows ja chains from an absolute index to the final
+	// destination (bounded by program length to survive any cycle).
+	resolve := func(idx int) int {
+		for hops := 0; hops < len(p); hops++ {
+			ins := p[idx]
+			if ins.Class() == ClassJMP && ins.Op&0xf0 == JmpJA {
+				idx = idx + 1 + int(ins.K)
+				continue
+			}
+			return idx
+		}
+		return idx
+	}
+	for i := range p {
+		ins := &p[i]
+		if ins.Class() != ClassJMP {
+			continue
+		}
+		if ins.Op&0xf0 == JmpJA {
+			ins.K = uint32(resolve(i+1+int(ins.K)) - i - 1)
+			continue
+		}
+		jt := resolve(i + 1 + int(ins.Jt))
+		jf := resolve(i + 1 + int(ins.Jf))
+		if jt-i-1 <= 255 {
+			ins.Jt = uint8(jt - i - 1)
+		}
+		if jf-i-1 <= 255 {
+			ins.Jf = uint8(jf - i - 1)
+		}
+		if ins.Jt == ins.Jf {
+			// Both arms agree: the comparison no longer matters. It can
+			// not be dropped here (offsets would shift); rewrite as a
+			// jump so elimDead can reclaim unreachable code. The load
+			// side effects of classic BPF are none (A/X are dead at a
+			// rewritten branch only if unused later — conservatively keep
+			// the branch when the offset is zero, i.e. plain fall-through).
+			if ins.Jt != 0 {
+				*ins = JumpAlways(uint32(ins.Jt))
+			}
+		}
+	}
+	return p
+}
+
+// elimDead removes unreachable instructions and rewrites offsets.
+func elimDead(p Program) Program {
+	reachable := make([]bool, len(p))
+	var mark func(int)
+	mark = func(i int) {
+		for i < len(p) && !reachable[i] {
+			reachable[i] = true
+			ins := p[i]
+			if ins.Class() == ClassRET {
+				return
+			}
+			if ins.Class() == ClassJMP {
+				if ins.Op&0xf0 == JmpJA {
+					i = i + 1 + int(ins.K)
+					continue
+				}
+				mark(i + 1 + int(ins.Jt))
+				i = i + 1 + int(ins.Jf)
+				continue
+			}
+			i++
+		}
+	}
+	mark(0)
+
+	// Map old indexes to new ones.
+	newIdx := make([]int, len(p))
+	n := 0
+	for i := range p {
+		newIdx[i] = n
+		if reachable[i] {
+			n++
+		}
+	}
+	if n == len(p) {
+		return p
+	}
+	out := make(Program, 0, n)
+	for i, ins := range p {
+		if !reachable[i] {
+			continue
+		}
+		if ins.Class() == ClassJMP {
+			if ins.Op&0xf0 == JmpJA {
+				ins.K = uint32(newIdx[i+1+int(ins.K)] - newIdx[i] - 1)
+			} else {
+				jt := newIdx[i+1+int(ins.Jt)] - newIdx[i] - 1
+				jf := newIdx[i+1+int(ins.Jf)] - newIdx[i] - 1
+				if jt > 255 || jf > 255 {
+					return p // cannot re-encode; keep the original
+				}
+				ins.Jt, ins.Jf = uint8(jt), uint8(jf)
+			}
+		}
+		out = append(out, ins)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package bpf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOptimizeThreadsJumpChains(t *testing.T) {
+	// jeq -> ja -> ja -> ret: the conditional must end up pointing at the
+	// return directly and the trampolines must be eliminated.
+	p := Program{
+		LoadAbs(SizeH, 12),
+		JumpIf(JmpJEQ, 0x800, 0, 1), // true -> ja chain, false -> next ja
+		JumpAlways(1),               // -> 4
+		JumpAlways(1),               // -> 5 (reached when false)
+		JumpAlways(1),               // -> 6... wait: structure below
+		RetConst(1),
+		RetConst(0),
+	}
+	// Rebuild a clean chain: 1.jt->2, 2->4, 4->5(ret 1); 1.jf->3, 3->6(ret 0).
+	p = Program{
+		LoadAbs(SizeH, 12),
+		JumpIf(JmpJEQ, 0x800, 0, 1), // jt -> 2, jf -> 3
+		JumpAlways(2),               // 2 -> 5
+		JumpAlways(2),               // 3 -> 6
+		RetConst(9),                 // 4: dead
+		RetConst(1),                 // 5
+		RetConst(0),                 // 6
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt := Optimize(p)
+	if len(opt) >= len(p) {
+		t.Fatalf("no shrink: %d -> %d\n%s", len(p), len(opt), opt)
+	}
+	// Behaviour preserved on both paths.
+	ip := make([]byte, 60)
+	ip[12], ip[13] = 0x08, 0x00
+	arp := make([]byte, 60)
+	arp[12], arp[13] = 0x08, 0x06
+	for _, f := range [][]byte{ip, arp} {
+		r1, err1 := p.Run(f)
+		r2, err2 := opt.Run(f)
+		if err1 != nil || err2 != nil || r1.Accept != r2.Accept {
+			t.Fatalf("behaviour changed: %v/%v vs %v/%v", r1, err1, r2, err2)
+		}
+	}
+	if opt[len(opt)-1].Class() != ClassRET {
+		t.Fatal("optimized program does not end in RET")
+	}
+}
+
+func TestOptimizeRemovesDeadCode(t *testing.T) {
+	p := Program{
+		JumpAlways(2),
+		LoadImm(1),  // dead
+		RetConst(7), // dead
+		RetConst(42),
+	}
+	opt := Optimize(p)
+	if len(opt) != 2 {
+		t.Fatalf("optimized length = %d, want 2:\n%s", len(opt), opt)
+	}
+	res, err := opt.Run(nil)
+	if err != nil || res.Accept != 42 {
+		t.Fatalf("result = %v, %v", res, err)
+	}
+}
+
+func TestOptimizeIdempotentOnCleanCode(t *testing.T) {
+	p := classicIPFilter()
+	opt := Optimize(p)
+	if len(opt) != len(p) {
+		t.Fatalf("clean program changed length: %d -> %d", len(p), len(opt))
+	}
+	for i := range p {
+		if opt[i] != p[i] {
+			t.Fatalf("clean program modified at %d", i)
+		}
+	}
+}
+
+func TestOptimizeRejectsNothing(t *testing.T) {
+	// Invalid input comes back untouched.
+	bad := Program{LoadImm(1)}
+	if got := Optimize(bad); len(got) != 1 {
+		t.Fatal("invalid program was rewritten")
+	}
+}
+
+// Property: optimization preserves the accept/reject decision and the
+// accept length on random packets for random (valid) programs.
+func TestOptimizeEquivalenceProperty(t *testing.T) {
+	f := func(seed int64, pktLen uint8, fill byte) bool {
+		p := randomProgram(seed)
+		if p.Validate() != nil {
+			return true
+		}
+		opt := Optimize(p)
+		if opt.Validate() != nil {
+			return false
+		}
+		pkt := make([]byte, pktLen)
+		for i := range pkt {
+			pkt[i] = fill + byte(i)
+		}
+		r1, err1 := p.Run(pkt)
+		r2, err2 := opt.Run(pkt)
+		if (err1 == nil) != (err2 == nil) {
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		return r1.Accept == r2.Accept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimization never grows a program.
+func TestOptimizeNeverGrows(t *testing.T) {
+	f := func(seed int64) bool {
+		p := randomProgram(seed)
+		if p.Validate() != nil {
+			return true
+		}
+		return len(Optimize(p)) <= len(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

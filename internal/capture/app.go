@@ -1,0 +1,276 @@
+package capture
+
+import "repro/internal/sim"
+
+// App is one capturing application (the createDist tool used as capture
+// program in the measurements): it reads packets from its OS attachment
+// and applies the configured per-packet load.
+type App struct {
+	sys *System
+	idx int
+
+	state appState
+
+	// Captured counts packets fully delivered to the application: the
+	// numerator of the thesis's capturing rate.
+	Captured uint64
+
+	// Timeslice tracking for the Linux read loop: while an application
+	// has consumed less than the scheduler timeslice of consecutive CPU
+	// time and still has data, it keeps its CPU instead of yielding.
+	lastCPU   *sim.CPU
+	sliceUsed float64
+	pipe      *pipe
+
+	// Worker-thread state (§7.2 extension: "using multiple threads on one
+	// machine to take full advantage of multiprocessor systems" [DV04]):
+	// outstanding bytes queued to analysis workers; the reader blocks when
+	// the queue is full.
+	workerOutstanding int
+}
+
+func newApp(s *System, idx int) *App {
+	a := &App{sys: s, idx: idx}
+	if s.Load.PipeGzip > 0 {
+		a.pipe = &pipe{sys: s, app: a, level: s.Load.PipeGzip}
+	}
+	return a
+}
+
+// procCost prices the application-side handling of one packet beyond the
+// OS hand-off: bookkeeping plus the configured artificial load.
+// It returns the fixed ns cost, memory bytes touched, bytes destined for
+// the disk queue and bytes destined for the gzip pipe.
+func (a *App) procCost(caplen int) (fixed, memBytes float64, diskBytes, pipeBytes int) {
+	c := &a.sys.Costs
+	ld := a.sys.Load
+	fixed = a.sys.ufixed(c.AppPerPktNS)
+	if ld.FlowTrack {
+		// Header parse + hash + map update; touches the packet headers and
+		// one table entry.
+		fixed += a.sys.ufixed(c.FlowTrackNS)
+		memBytes += 128
+	}
+	if ld.MemcpyCount > 0 {
+		memBytes += float64(ld.MemcpyCount * caplen)
+	}
+	if ld.ZlibLevel > 0 {
+		// gzwrite(): compute-dominated; the per-byte constant is already
+		// architecture-specific (the Netburst Xeon is better at this, the
+		// one place the thesis saw Intel ahead), so no FixedCost scaling.
+		fixed += float64(caplen) * a.sys.Arch.ZlibNsPerByte(ld.ZlibLevel)
+		memBytes += float64(caplen)
+	}
+	if a.pipe != nil {
+		fixed += a.sys.ufixed(c.PipePerPktNS)
+		memBytes += float64(caplen)
+		pipeBytes = caplen
+	}
+	if ld.WriteSnapLen > 0 || ld.WriteFull {
+		n := caplen
+		if !ld.WriteFull && ld.WriteSnapLen < caplen {
+			n = ld.WriteSnapLen
+		}
+		n += 16 // pcap record header
+		memBytes += float64(n)
+		fixed += float64(n) * a.sys.Arch.DiskCPUPerByteNS
+		diskBytes = n
+	}
+	return fixed, memBytes, diskBytes, pipeBytes
+}
+
+// batchLoad prices the per-packet load of a whole read batch. locality
+// discounts the memory-bound part (FreeBSD bulk reads leave the chunk
+// cache-warm). Without worker threads the costs are folded into the read
+// task (inline) and finish() applies the disk/pipe side effects; with
+// Load.Workers > 0 the load runs as separate worker tasks that may execute
+// on other CPUs, and finish() dispatches them.
+func (a *App) batchLoad(caplens []int, locality float64) (inlineFixed, inlineMem float64, finish func()) {
+	var fixed, mem float64
+	diskTotal, pipeTotal, loadBytes := 0, 0, 0
+	for _, cl := range caplens {
+		pf, pm, db, pb := a.procCost(cl)
+		fixed += pf
+		mem += pm * locality
+		diskTotal += db
+		pipeTotal += pb
+		loadBytes += cl
+	}
+	apply := func() {
+		if diskTotal > 0 {
+			a.sys.Disk.Write(diskTotal)
+		}
+		if pipeTotal > 0 {
+			a.pipe.write(pipeTotal)
+		}
+	}
+	workers := a.sys.Load.Workers
+	if workers <= 0 {
+		return fixed, mem, apply
+	}
+	// Worker mode: the reader only pays the hand-off; the analysis load is
+	// split over up to `workers` tasks dispatched to whatever CPUs are
+	// free. Backpressure: the reader blocks once too many bytes are in
+	// flight (blockedOnBackpressure checks workerOutstanding).
+	return 0, 0, func() {
+		n := len(caplens)
+		if n == 0 {
+			apply()
+			return
+		}
+		parts := workers
+		if parts > n {
+			parts = n
+		}
+		a.workerOutstanding += loadBytes
+		fixedPer := fixed / float64(parts)
+		memPer := mem / float64(parts)
+		bytesPer := loadBytes / parts
+		for i := 0; i < parts; i++ {
+			last := i == parts-1
+			rel := bytesPer
+			if last {
+				rel = loadBytes - bytesPer*(parts-1)
+			}
+			doApply := last // side effects once per batch, with the last part
+			a.sys.Machine.SubmitUser(&sim.Task{
+				Name:         "worker",
+				Prio:         sim.PrioUser,
+				FixedNS:      fixedPer,
+				MemBytes:     memPer,
+				MemNsPerByte: a.sys.umemNs(),
+				OnDone: func() {
+					a.workerOutstanding -= rel
+					if doApply {
+						apply()
+					}
+					if a.state == stBlockedWorkers &&
+						a.workerOutstanding < a.sys.Costs.WorkerQueueBytes/2 {
+						a.resume()
+					}
+				},
+			})
+		}
+	}
+}
+
+// blockedOnBackpressure checks disk, pipe and worker backpressure before
+// the app consumes more packets; it parks the app if any is full.
+func (a *App) blockedOnBackpressure() bool {
+	if a.sys.Disk.full() && (a.sys.Load.WriteSnapLen > 0 || a.sys.Load.WriteFull) {
+		a.state = stBlockedDisk
+		a.sys.Disk.addWaiter(a)
+		return true
+	}
+	if a.pipe != nil && a.pipe.full() {
+		a.state = stBlockedPipe
+		a.pipe.producerBlocked = true
+		return true
+	}
+	if a.sys.Load.Workers > 0 && a.workerOutstanding >= a.sys.Costs.WorkerQueueBytes {
+		a.state = stBlockedWorkers
+		return true
+	}
+	return false
+}
+
+// submitWork places an application task honoring the Linux timeslice-hog
+// behaviour: a reader that still has data continues on its CPU — ahead of
+// other runnable user tasks — until its timeslice is spent. It abandons
+// the CPU early only when interrupt/kernel work is monopolizing it (the
+// 2.6 load balancer pulls runnable tasks to idle CPUs). FreeBSD's reader
+// sleeps between buffer chunks, so it always yields and re-queues fairly.
+func (a *App) submitWork(t *sim.Task, estNS float64) {
+	hog := a.sys.OS == Linux && a.lastCPU != nil &&
+		a.sliceUsed+estNS <= a.sys.Costs.TimesliceNS &&
+		!kernelBusy(a.lastCPU)
+	if hog {
+		a.sliceUsed += estNS
+		a.lastCPU.SubmitFront(t)
+		return
+	}
+	a.sliceUsed = estNS
+	a.lastCPU = a.sys.Machine.SubmitUser(t)
+}
+
+// kernelBusy reports whether the CPU currently has above-user-priority
+// work running or queued, i.e. a user task would be starved there.
+func kernelBusy(c *sim.CPU) bool {
+	for p := sim.PrioHardIRQ; p < sim.PrioUser; p++ {
+		if c.QueueLen(p) > 0 {
+			return true
+		}
+	}
+	return c.Running() != nil && c.Running().Prio < sim.PrioUser
+}
+
+// resume is called by disk/pipe/worker wakeups.
+func (a *App) resume() {
+	if a.state != stBlockedDisk && a.state != stBlockedPipe && a.state != stBlockedWorkers {
+		return
+	}
+	a.state = stIdle
+	a.sys.stack.appStart(a)
+}
+
+// pipe models the named-pipe-to-gzip setup of §6.3.4: the capture process
+// writes whole packets into a fifo; a separate gzip process compresses
+// them. Splitting producer and consumer puts the compression on the other
+// CPU — and introduces the pipe as a new bottleneck.
+type pipe struct {
+	sys   *System
+	app   *App
+	level int
+
+	buf             int
+	busy            bool
+	producerBlocked bool
+
+	BytesIn  uint64
+	BytesOut uint64
+}
+
+func (p *pipe) full() bool { return p.buf >= p.sys.Costs.PipeBufBytes }
+
+// write is called when the producer's task has completed.
+func (p *pipe) write(n int) {
+	p.buf += n
+	p.BytesIn += uint64(n)
+	if !p.busy {
+		p.consume()
+	}
+}
+
+// consume runs the gzip process: one task per pipe chunk.
+func (p *pipe) consume() {
+	chunk := p.buf
+	if max := p.sys.Costs.PipeBufBytes; chunk > max {
+		chunk = max
+	}
+	if chunk <= 0 {
+		p.busy = false
+		return
+	}
+	p.busy = true
+	cost := float64(chunk)*p.sys.Arch.ZlibNsPerByte(p.level) + p.sys.ufixed(2000)
+	p.sys.Machine.SubmitUser(&sim.Task{
+		Name:         "gzip",
+		Prio:         sim.PrioUser,
+		FixedNS:      cost,
+		MemBytes:     float64(chunk),
+		MemNsPerByte: p.sys.umemNs(),
+		OnDone: func() {
+			p.buf -= chunk
+			p.BytesOut += uint64(chunk)
+			if p.producerBlocked && p.buf < p.sys.Costs.PipeBufBytes/2 {
+				p.producerBlocked = false
+				p.app.resume()
+			}
+			if p.buf > 0 {
+				p.consume()
+			} else {
+				p.busy = false
+			}
+		},
+	})
+}

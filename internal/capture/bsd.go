@@ -1,0 +1,257 @@
+package capture
+
+import "repro/internal/sim"
+
+// bsdStack models the FreeBSD BPF (§2.1.1): the interrupt handler runs
+// every attached filter and copies accepted packets into the STORE half of
+// that attachment's double buffer; the application read()s whole HOLD
+// buffers at once. Buffers switch when the STORE is full and the HOLD is
+// empty, or when the HOLD is empty and the application performs a read.
+type bsdStack struct {
+	sys  *System
+	atts []*batt
+}
+
+// batt is one BPF attachment (/dev/bpfN) with its double buffer.
+type batt struct {
+	app *App
+
+	store bpfBuf
+	hold  bpfBuf
+	ready bool // HOLD filled, waiting for the reader
+
+	timeoutArmed bool
+	timeout      sim.EventRef
+
+	Drops  uint64
+	Stored uint64
+}
+
+type bpfBuf struct {
+	bytes int
+	pkts  []kpkt
+}
+
+func (b *bpfBuf) reset() { b.bytes, b.pkts = 0, b.pkts[:0] }
+
+func newBSDStack(s *System) *bsdStack {
+	st := &bsdStack{sys: s}
+	for _, a := range s.apps {
+		st.atts = append(st.atts, &batt{app: a})
+	}
+	return st
+}
+
+// bsdAccept records one attachment's decision for irqDone.
+type bsdAccept struct {
+	att    *batt
+	caplen int
+	rotate bool // swap buffers before storing
+	drop   bool // both buffer halves full: reject without copying
+}
+
+// irqCost prices the in-interrupt work: mbuf setup, one filter run per
+// attachment, and the copy of each accepted packet into its STORE buffer —
+// FreeBSD's extra copy compared to Linux (§2.2.2).
+//
+// Crucially, catchpacket() checks buffer space *before* copying: when both
+// halves are full the packet is dropped for the price of the filter run
+// alone. Under overload this keeps the interrupt handler cheap and leaves
+// the CPU to the (overloaded) application — the structural reason FreeBSD
+// degrades more gracefully than Linux under per-packet load (§6.3.4).
+// The decision is made here because interrupt tasks execute strictly in
+// order; an application read between decision and execution can only free
+// space, making the decision conservative.
+func (st *bsdStack) irqCost(data []byte) (float64, float64, any) {
+	c := &st.sys.Costs
+	fixed := c.MbufNS
+	var mem float64
+	var accepts []bsdAccept
+	for _, att := range st.atts {
+		caplen, fcost := st.sys.runFilter(data)
+		fixed += fcost
+		if caplen == 0 {
+			continue
+		}
+		acc := bsdAccept{att: att, caplen: caplen}
+		sz := align4(caplen + c.BpfHdrBytes)
+		if att.store.bytes+sz > st.sys.BufferBytes {
+			// "The buffers are switched if the STORE buffer is full and a
+			// packet is waiting" — possible only while HOLD is free.
+			if !att.ready && att.hold.bytes == 0 {
+				acc.rotate = true
+			} else {
+				acc.drop = true
+			}
+		}
+		if !acc.drop && sz > st.sys.BufferBytes {
+			acc.drop = true // single packet larger than a buffer half
+		}
+		if acc.drop {
+			fixed += 50 // bump the drop counter, free the mbuf reference
+		} else {
+			fixed += c.BpfStoreNS
+			mem += float64(caplen + c.BpfHdrBytes)
+		}
+		accepts = append(accepts, acc)
+	}
+	return fixed, mem, accepts
+}
+
+func (st *bsdStack) irqDone(data []byte, aux any) {
+	accepts, _ := aux.([]bsdAccept)
+	for _, acc := range accepts {
+		att := acc.att
+		if acc.drop {
+			att.Drops++
+			continue
+		}
+		if acc.rotate {
+			st.rotate(att)
+		}
+		sz := align4(acc.caplen + st.sys.Costs.BpfHdrBytes)
+		if att.store.bytes+sz > st.sys.BufferBytes {
+			att.Drops++ // defensive: decision invalidated concurrently
+			continue
+		}
+		att.store.pkts = append(att.store.pkts, kpkt{data: data, caplen: acc.caplen})
+		att.store.bytes += sz
+		att.Stored++
+	}
+}
+
+// rotate swaps STORE into HOLD and wakes a reader blocked in read().
+func (st *bsdStack) rotate(att *batt) {
+	att.hold, att.store = att.store, att.hold
+	att.store.reset()
+	att.ready = true
+	if att.app.state == stWaitingRead {
+		if att.timeoutArmed {
+			att.timeout.Cancel()
+			att.timeoutArmed = false
+		}
+		att.app.state = stIdle
+		st.appStart(att.app)
+	}
+}
+
+// appStart performs the application's next read() on /dev/bpf: return the
+// HOLD buffer if ready, else rotate a non-empty STORE ("if the HOLD buffer
+// is empty and the application performs a read"), else block.
+func (st *bsdStack) appStart(a *App) {
+	if a.state == stRunning || a.state == stBlockedDisk || a.state == stBlockedPipe ||
+		a.state == stBlockedWorkers || a.state == stWaitingRead {
+		return
+	}
+	att := st.atts[a.idx]
+	if !att.ready && att.store.bytes > 0 {
+		att.hold, att.store = att.store, att.hold
+		att.store.reset()
+		att.ready = true
+	}
+	if !att.ready {
+		a.state = stWaitingRead
+		st.armTimeout(att)
+		return
+	}
+	if a.blockedOnBackpressure() {
+		return
+	}
+	st.consumeHold(a, att)
+}
+
+// armTimeout models the BPF read timeout: a blocked reader with data only
+// in STORE gets it after ReadTimeoutNS even if the buffer never fills.
+func (st *bsdStack) armTimeout(att *batt) {
+	if st.sys.Costs.ReadTimeoutNS <= 0 || att.timeoutArmed {
+		return
+	}
+	att.timeoutArmed = true
+	att.timeout = st.sys.Sim.After(sim.Time(st.sys.Costs.ReadTimeoutNS), func() {
+		att.timeoutArmed = false
+		if att.app.state != stWaitingRead {
+			return
+		}
+		if att.store.bytes > 0 || att.ready {
+			att.app.state = stIdle
+			st.appStart(att.app)
+			return
+		}
+		if !st.sys.genDone {
+			st.armTimeout(att) // keep the blocking read's timer running
+			return
+		}
+		att.app.state = stIdle // no more data will ever arrive
+	})
+}
+
+// consumeHold reads the whole HOLD buffer in one syscall — FreeBSD's bulk
+// copy to user space — then processes every packet in the chunk.
+func (st *bsdStack) consumeHold(a *App, att *batt) {
+	c := &st.sys.Costs
+	chunk := att.hold.pkts
+	chunkBytes := att.hold.bytes
+	att.hold = bpfBuf{pkts: make([]kpkt, 0, cap(chunk))}
+	att.ready = false
+	a.state = stRunning
+
+	// The bulk copy pays the cache penalty once the chunk exceeds L2: the
+	// mechanism behind the thesis's single-CPU degradation with large
+	// double buffers (Figure 6.4a). The penalty is folded into equivalent
+	// bytes because a task has a single per-byte rate. The memory-mapped
+	// variant (§7.2 future work) reads the buffer in place: no copy at all.
+	copyBytes := float64(chunkBytes)
+	if st.sys.MmapPatch {
+		copyBytes = 0
+	} else if chunkBytes > st.sys.Arch.CacheBytes {
+		copyBytes *= st.sys.Arch.CachePenalty
+	}
+	fixed := st.sys.ufixed(c.ReadSyscallNS)
+	mem := copyBytes
+	caplens := make([]int, 0, len(chunk))
+	for _, p := range chunk {
+		caplens = append(caplens, p.caplen)
+	}
+	locality := c.BulkLocalityFactor
+	if st.sys.MmapPatch {
+		// Without the copy the chunk is not pre-warmed.
+		locality = 1.0
+	}
+	loadFixed, loadMem, finish := a.batchLoad(caplens, locality)
+	fixed += loadFixed
+	mem += loadMem
+	n := len(chunk)
+	est := fixed + mem*st.sys.umemNs()
+	a.submitWork(&sim.Task{
+		Name:         "bpf-read",
+		Prio:         sim.PrioUser,
+		FixedNS:      fixed,
+		MemBytes:     mem,
+		MemNsPerByte: st.sys.umemNs(),
+		OnDone: func() {
+			a.Captured += uint64(n)
+			finish()
+			a.state = stIdle
+			st.appStart(a)
+		},
+	}, est)
+}
+
+func (st *bsdStack) pending() bool {
+	for _, att := range st.atts {
+		if att.store.bytes > 0 || att.ready {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *bsdStack) dropStats() ([]uint64, uint64) {
+	per := make([]uint64, len(st.atts))
+	for i, att := range st.atts {
+		per[i] = att.Drops
+	}
+	return per, 0
+}
+
+func align4(n int) int { return (n + 3) &^ 3 }

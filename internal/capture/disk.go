@@ -1,0 +1,85 @@
+package capture
+
+import "repro/internal/sim"
+
+// Disk models the 3ware ATA RAID set as a throughput-limited write-back
+// queue. Applications enqueue bytes (the CPU cost of the write path is
+// charged inside the application task); the queue drains at the profile's
+// sustained write rate. A full queue blocks the writer — exactly how a
+// capture tool stalls when the disk cannot keep up, which is why the
+// thesis writes only 76-byte headers at line rate (§6.3.5).
+type Disk struct {
+	sys *System
+
+	queue    int
+	MaxQueue int
+	draining bool
+	waiters  []*App
+
+	Written uint64
+}
+
+const diskChunk = 1 << 20 // drain granularity
+
+func (d *Disk) full() bool { return d.queue >= d.MaxQueue }
+
+func (d *Disk) addWaiter(a *App) { d.waiters = append(d.waiters, a) }
+
+// Write enqueues n bytes and arms draining.
+func (d *Disk) Write(n int) {
+	if n <= 0 {
+		return
+	}
+	d.queue += n
+	if !d.draining {
+		d.drain()
+	}
+}
+
+func (d *Disk) drain() {
+	chunk := d.queue
+	if chunk > diskChunk {
+		chunk = diskChunk
+	}
+	if chunk <= 0 {
+		d.draining = false
+		return
+	}
+	d.draining = true
+	rate := d.sys.Arch.DiskWriteMBps * 1e6 // bytes/s
+	dur := sim.Time(float64(chunk) / rate * 1e9)
+	d.sys.Sim.After(dur, func() {
+		d.queue -= chunk
+		d.Written += uint64(chunk)
+		if len(d.waiters) > 0 && d.queue < d.MaxQueue/2 {
+			ws := d.waiters
+			d.waiters = nil
+			for _, a := range ws {
+				a.resume()
+			}
+		}
+		d.drain()
+	})
+}
+
+// BonnieResult is one bar of the Figure 6.13 histogram.
+type BonnieResult struct {
+	System    string
+	WriteMBps float64
+	CPUPct    float64
+}
+
+// Bonnie reports the system's maximum sequential write speed and the CPU
+// usage that writing at this speed costs — the bonnie++ measurement the
+// thesis runs before the write-to-disk experiments. The numbers follow
+// analytically from the disk model: throughput is the profile's sustained
+// rate, CPU is the per-byte write-path cost at that rate.
+func Bonnie(cfg Config) BonnieResult {
+	bytesPerSec := cfg.Arch.DiskWriteMBps * 1e6
+	cpuFrac := bytesPerSec * cfg.Arch.DiskCPUPerByteNS * 1e-9 * cfg.Arch.FixedCost
+	return BonnieResult{
+		System:    cfg.Name,
+		WriteMBps: cfg.Arch.DiskWriteMBps,
+		CPUPct:    cpuFrac * 100,
+	}
+}

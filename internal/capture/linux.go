@@ -1,0 +1,220 @@
+package capture
+
+import "repro/internal/sim"
+
+// linuxStack models the Linux 2.6 capturing stack (§2.1.2): the interrupt
+// handler allocates an skb and appends a pointer to the per-CPU input
+// queue; a NET_RX softirq later walks the queue and hands each packet to
+// every PF_PACKET socket whose LSF filter accepts it; the application
+// copies each packet separately to user space via recvfrom (or reads it
+// in place with the PACKET_MMAP patch of §6.3.6).
+type linuxStack struct {
+	sys *System
+
+	backlog      []kpkt
+	backlogDrops uint64
+	softirqOn    bool
+
+	socks []*lsock
+}
+
+// lsock is one PF_PACKET socket with its receive-buffer accounting.
+type lsock struct {
+	app      *App
+	queue    []kpkt
+	bytes    int
+	Drops    uint64
+	Enqueued uint64
+}
+
+func newLinuxStack(s *System) *linuxStack {
+	st := &linuxStack{sys: s}
+	for _, a := range s.apps {
+		st.socks = append(st.socks, &lsock{app: a})
+	}
+	return st
+}
+
+// irqCost: driver top half — allocate the skb and enqueue the pointer.
+// No payload copy happens here (the card DMAed the frame already). The
+// PF_RING-style stack skips the skb allocation: the driver hands the raw
+// buffer straight towards the ring.
+func (st *linuxStack) irqCost(data []byte) (float64, float64, any) {
+	c := &st.sys.Costs
+	if st.sys.PFRing {
+		return c.RingInsertNS + c.BacklogEnqNS, 0, nil
+	}
+	return c.SkbAllocNS + c.BacklogEnqNS, 0, nil
+}
+
+func (st *linuxStack) irqDone(data []byte, _ any) {
+	if len(st.backlog) >= st.sys.Costs.BacklogLen {
+		st.backlogDrops++
+		return
+	}
+	st.backlog = append(st.backlog, kpkt{data: data})
+	if !st.softirqOn {
+		st.softirqOn = true
+		st.scheduleSoftirq()
+	}
+}
+
+// delivery is one (socket, packet) pair accepted by a filter.
+type delivery struct {
+	sk *lsock
+	p  kpkt
+}
+
+// scheduleSoftirq drains up to the quota from the input queue in one
+// softirq pass on CPU 0 (softirqs run on the CPU that took the interrupt).
+func (st *linuxStack) scheduleSoftirq() {
+	c := &st.sys.Costs
+	n := len(st.backlog)
+	if n > c.SoftirqQuota {
+		n = c.SoftirqQuota
+	}
+	batch := make([]kpkt, n)
+	copy(batch, st.backlog[:n])
+	copy(st.backlog, st.backlog[n:])
+	st.backlog = st.backlog[:len(st.backlog)-n]
+
+	ring := st.sys.MmapPatch || st.sys.PFRing
+	var fixed, mem float64
+	var delivers []delivery
+	for _, p := range batch {
+		perPkt := c.SoftirqPerPktNS
+		if st.sys.PFRing {
+			// The ring stack bypasses most of netif_receive_skb.
+			perPkt = c.RingInsertNS
+		}
+		fixed += perPkt
+		for _, sk := range st.socks {
+			caplen, fcost := st.sys.runFilter(p.data)
+			fixed += fcost
+			if caplen == 0 {
+				continue
+			}
+			if st.sys.PFRing {
+				fixed += c.RingInsertNS
+			} else {
+				fixed += c.SockEnqNS
+			}
+			if sk.app.state == stIdle {
+				fixed += c.WakeupNS
+			}
+			if ring {
+				// The kernel copies the frame into the shared ring here,
+				// in softirq context.
+				mem += float64(caplen)
+			}
+			delivers = append(delivers, delivery{sk, kpkt{data: p.data, caplen: caplen}})
+		}
+	}
+	st.sys.cpu0().Submit(&sim.Task{
+		Name:         "net-rx-softirq",
+		Prio:         sim.PrioSoftIRQ,
+		FixedNS:      st.sys.kfixed(fixed),
+		MemBytes:     mem,
+		MemNsPerByte: st.sys.kmemNs(),
+		OnDone: func() {
+			for _, dv := range delivers {
+				overhead := dv.p.caplen + st.sys.Costs.SkbOverhead
+				if dv.sk.bytes+overhead > st.sys.BufferBytes {
+					dv.sk.Drops++
+					continue
+				}
+				dv.sk.queue = append(dv.sk.queue, dv.p)
+				dv.sk.bytes += overhead
+				dv.sk.Enqueued++
+				if dv.sk.app.state == stIdle {
+					st.appStart(dv.sk.app)
+				}
+			}
+			if len(st.backlog) > 0 {
+				st.scheduleSoftirq()
+			} else {
+				st.softirqOn = false
+			}
+		},
+	})
+}
+
+// appStart runs one read burst of the application's loop: up to AppBatch
+// packets, each paying the recvfrom syscall and the copy to user space
+// (or the cheap PACKET_MMAP hand-off), plus the configured load.
+func (st *linuxStack) appStart(a *App) {
+	if a.state == stRunning || a.state == stBlockedDisk ||
+		a.state == stBlockedPipe || a.state == stBlockedWorkers {
+		return
+	}
+	sk := st.socks[a.idx]
+	if len(sk.queue) == 0 {
+		a.state = stIdle
+		return
+	}
+	if a.blockedOnBackpressure() {
+		return
+	}
+	a.state = stRunning
+
+	c := &st.sys.Costs
+	n := len(sk.queue)
+	if n > c.AppBatch {
+		n = c.AppBatch
+	}
+	batch := make([]kpkt, n)
+	copy(batch, sk.queue[:n])
+	copy(sk.queue, sk.queue[n:])
+	sk.queue = sk.queue[:len(sk.queue)-n]
+
+	ring := st.sys.MmapPatch || st.sys.PFRing
+	var fixed, mem float64
+	caplens := make([]int, 0, n)
+	for _, p := range batch {
+		sk.bytes -= p.caplen + c.SkbOverhead
+		if ring {
+			fixed += st.sys.ufixed(c.MmapPerPktNS)
+		} else {
+			fixed += st.sys.ufixed(c.RecvSyscallNS)
+			mem += float64(p.caplen)
+		}
+		caplens = append(caplens, p.caplen)
+	}
+	loadFixed, loadMem, finish := a.batchLoad(caplens, 1.0)
+	fixed += loadFixed
+	mem += loadMem
+	est := fixed + mem*st.sys.umemNs()
+	a.submitWork(&sim.Task{
+		Name:         "recv",
+		Prio:         sim.PrioUser,
+		FixedNS:      fixed,
+		MemBytes:     mem,
+		MemNsPerByte: st.sys.umemNs(),
+		OnDone: func() {
+			a.Captured += uint64(n)
+			finish()
+			a.state = stIdle
+			st.appStart(a)
+		},
+	}, est)
+}
+
+func (st *linuxStack) pending() bool {
+	if len(st.backlog) > 0 || st.softirqOn {
+		return true
+	}
+	for _, sk := range st.socks {
+		if len(sk.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (st *linuxStack) dropStats() ([]uint64, uint64) {
+	per := make([]uint64, len(st.socks))
+	for i, sk := range st.socks {
+		per[i] = sk.Drops
+	}
+	return per, st.backlogDrops
+}

@@ -1,0 +1,324 @@
+package capture
+
+import (
+	"fmt"
+
+	"repro/internal/pktgen"
+	"repro/internal/sim"
+)
+
+// stack is the OS-specific half of the receive path.
+type stack interface {
+	// irqCost prices the interrupt-context work for one packet (beyond
+	// the shared driver cost) and may precompute state passed to irqDone.
+	irqCost(data []byte) (fixedNS, memBytes float64, aux any)
+	// irqDone applies the interrupt-context state change when the task
+	// completes (enqueue, copy into buffers, wakeups, drops).
+	irqDone(data []byte, aux any)
+	// appStart kicks (or resumes) an application's read loop.
+	appStart(a *App)
+	// pending reports whether the stack still holds undelivered packets.
+	pending() bool
+	// dropStats returns per-application buffer drops and (Linux) input
+	// queue drops.
+	dropStats() (perApp []uint64, queue uint64)
+}
+
+// appState tracks what an application is doing.
+type appState int
+
+const (
+	stIdle appState = iota // no data; will be woken by the stack
+	stRunning
+	stWaitingRead // FreeBSD: blocked in read() on /dev/bpf
+	stBlockedDisk
+	stBlockedPipe
+	stBlockedWorkers
+)
+
+// System is one sniffer under test: architecture, OS stack, applications,
+// disk, and its own simulator instance. Each of the four thesis machines
+// is one System fed the identical generated packet train (the optical
+// splitter guarantees identical input; separate simulator instances
+// guarantee independence).
+type System struct {
+	Config
+
+	Sim     *sim.Sim
+	Machine *sim.Machine
+	NIC     *NIC
+	Disk    *Disk
+
+	stack stack
+	apps  []*App
+
+	running      bool
+	genDone      bool
+	genEnd       sim.Time
+	busyAtGenEnd [sim.NumPrio]sim.Time
+
+	// Timestamp-accuracy accounting (see NIC.stamp).
+	tsStamped uint64
+	tsErrSum  sim.Time
+	tsErrMax  sim.Time
+	tsTies    uint64
+}
+
+// NewSystem assembles a system from its configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.NumCPUs <= 0 {
+		cfg.NumCPUs = 2
+	}
+	if cfg.KernelCostFactor <= 0 {
+		cfg.KernelCostFactor = 1.0
+	}
+	if cfg.Snaplen <= 0 {
+		cfg.Snaplen = 1515 // tcpdump -s 1515, §6.3.4
+	}
+	if cfg.NumApps <= 0 {
+		cfg.NumApps = 1
+	}
+	if cfg.BufferBytes <= 0 {
+		if cfg.OS == Linux {
+			cfg.BufferBytes = DefaultLinuxRcvbuf
+		} else {
+			cfg.BufferBytes = DefaultBSDBuffer
+		}
+	}
+	if cfg.Costs == (Costs{}) {
+		cfg.Costs = DefaultCosts()
+	}
+	if cfg.Hyperthreading && !cfg.Arch.HasHyperthreading {
+		cfg.Hyperthreading = false
+	}
+	if cfg.DiskQueueBytes <= 0 {
+		cfg.DiskQueueBytes = 32 << 20
+	}
+
+	s := &System{Config: cfg, Sim: sim.New()}
+	ncpu := cfg.NumCPUs
+	if cfg.Hyperthreading {
+		ncpu *= 2
+	}
+	s.Machine = sim.NewMachine(s.Sim, ncpu, cfg.Hyperthreading)
+	s.Machine.MemContention = cfg.Arch.MemContention
+	if cfg.Hyperthreading {
+		s.Machine.HTSlowdown = cfg.Arch.HTSlowdown
+	}
+	s.NIC = &NIC{sys: s}
+	s.Disk = &Disk{sys: s, MaxQueue: cfg.DiskQueueBytes}
+
+	for i := 0; i < cfg.NumApps; i++ {
+		s.apps = append(s.apps, newApp(s, i))
+	}
+	switch cfg.OS {
+	case Linux:
+		s.stack = newLinuxStack(s)
+	case FreeBSD:
+		s.stack = newBSDStack(s)
+	default:
+		panic(fmt.Sprintf("capture: unknown OS %d", cfg.OS))
+	}
+	return s
+}
+
+// kfixed scales a fixed kernel cost by architecture and system friction.
+func (s *System) kfixed(ns float64) float64 {
+	return ns * s.Arch.FixedCost * s.KernelCostFactor
+}
+
+// kmemNs is the per-byte cost of kernel-context copies.
+func (s *System) kmemNs() float64 {
+	return s.Arch.MemNsPerByte * s.KernelCostFactor
+}
+
+// umemNs is the per-byte cost of user-context copies.
+func (s *System) umemNs() float64 { return s.Arch.MemNsPerByte }
+
+// ufixed scales a fixed application-side cost by the architecture.
+func (s *System) ufixed(ns float64) float64 { return ns * s.Arch.FixedCost }
+
+func (s *System) cpu0() *sim.CPU { return s.Machine.CPUs[0] }
+
+// caplen applies the snap length to a frame.
+func (s *System) caplen(n int) int {
+	if n > s.Snaplen {
+		return s.Snaplen
+	}
+	return n
+}
+
+// runFilter executes the configured filter for one packet and returns the
+// capture length (0 = rejected) and the filtering cost in ns.
+func (s *System) runFilter(data []byte) (caplen int, costNS float64) {
+	if s.Filter == nil {
+		return s.caplen(len(data)), 0
+	}
+	res, err := s.Filter.Run(data)
+	if err != nil {
+		return 0, float64(res.Instructions) * s.Costs.FilterPerInstrNS
+	}
+	cost := float64(res.Instructions) * s.Costs.FilterPerInstrNS
+	if res.Accept == 0 {
+		return 0, cost
+	}
+	n := int(res.Accept)
+	if n > len(data) {
+		n = len(data)
+	}
+	return s.caplen(n), cost
+}
+
+// startHousekeeping arms the periodic kernel-housekeeping tasks.
+func (s *System) startHousekeeping() {
+	if s.Costs.HousekeepNS <= 0 || s.Costs.HousekeepPeriodNS <= 0 {
+		return
+	}
+	for i, cpu := range s.Machine.CPUs {
+		cpu := cpu
+		// Stagger across CPUs so both are never stalled at once.
+		offset := sim.Time(s.Costs.HousekeepPeriodNS * float64(i+1) / float64(len(s.Machine.CPUs)+1))
+		var arm func()
+		arm = func() {
+			if !s.running {
+				return
+			}
+			cpu.Submit(&sim.Task{
+				Name:    "housekeeping",
+				Prio:    sim.PrioKernel,
+				FixedNS: s.Costs.HousekeepNS,
+				OnDone:  func() {},
+			})
+			s.Sim.After(sim.Time(s.Costs.HousekeepPeriodNS), arm)
+		}
+		s.Sim.At(s.Sim.Now()+offset, arm)
+	}
+}
+
+// quiescent reports whether all packets in flight have been fully handled.
+func (s *System) quiescent() bool {
+	if len(s.NIC.ring) > 0 || s.NIC.irqActive || s.stack.pending() {
+		return false
+	}
+	for _, a := range s.apps {
+		if a.state == stRunning || a.state == stBlockedDisk ||
+			a.state == stBlockedPipe || a.state == stBlockedWorkers {
+			return false
+		}
+		if a.pipe != nil && (a.pipe.buf > 0 || a.pipe.busy) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunWithArrivals is Run with the generator's pacing replaced by explicit
+// inter-arrival gaps (nanoseconds): packet i arrives at the cumulative sum
+// of gaps[:i+1]. Used for the self-similar-arrivals extension experiment.
+func (s *System) RunWithArrivals(gen *pktgen.Generator, gapsNS []int64) Stats {
+	i := 0
+	return s.run(gen, func(p pktgen.Packet) sim.Time {
+		var at sim.Time
+		if i < len(gapsNS) {
+			at = s.Sim.Now() + sim.Time(gapsNS[i])
+		} else {
+			at = p.At
+		}
+		i++
+		if at <= s.Sim.Now() {
+			at = s.Sim.Now() + 1
+		}
+		return at
+	})
+}
+
+// Run feeds the generator's packet train into the NIC, lets the system
+// drain completely (the thesis stops the capturing applications only after
+// generation has finished and everything buffered has been read), and
+// returns the run statistics.
+func (s *System) Run(gen *pktgen.Generator) Stats {
+	return s.run(gen, func(p pktgen.Packet) sim.Time { return p.At })
+}
+
+func (s *System) run(gen *pktgen.Generator, arrivalAt func(pktgen.Packet) sim.Time) Stats {
+	gen.Reset()
+	s.running = true
+	s.genDone = false
+	s.startHousekeeping()
+	// The applications open their capture sessions and enter their first
+	// read before generation starts (measurement cycle step 1, §3.4).
+	for _, a := range s.apps {
+		s.stack.appStart(a)
+	}
+
+	var feed func()
+	feed = func() {
+		p, ok := gen.Next()
+		if !ok {
+			s.genDone = true
+			s.genEnd = s.Sim.Now()
+			// CPU usage is reported over the generation window, like
+			// cpusage bracketing the measurement (§5): snapshot the busy
+			// counters the moment the last packet has arrived.
+			for _, cpu := range s.Machine.CPUs {
+				for p := sim.Prio(0); p < sim.NumPrio; p++ {
+					s.busyAtGenEnd[p] += cpu.Busy(p)
+				}
+			}
+			return
+		}
+		s.Sim.At(arrivalAt(p), func() {
+			s.NIC.Arrive(p.Data)
+			feed()
+		})
+	}
+	feed()
+
+	// Advance in windows; stop once generation has ended and the system is
+	// quiescent. The safety cap bounds runaway configurations (a fully
+	// livelocked system drains slowly but the backlog is finite, so this
+	// generously covers real runs).
+	const window = 250 * sim.Millisecond
+	limit := s.Sim.Now() + window
+	for {
+		s.Sim.RunUntil(limit)
+		if s.genDone && s.quiescent() {
+			break
+		}
+		limit += window
+		if limit > s.genEnd+600*sim.Second && s.genDone {
+			break
+		}
+	}
+	s.running = false
+	// Let any residual events (cancelled housekeeping re-arms) run out.
+	s.Sim.Run()
+
+	return s.collectStats(gen)
+}
+
+func (s *System) collectStats(gen *pktgen.Generator) Stats {
+	st := Stats{
+		Generated: gen.Sent,
+		NICDrops:  s.NIC.Drops,
+		CPUCount:  len(s.Machine.CPUs),
+	}
+	st.WallTime = s.genEnd
+	st.BusyByCls = s.busyAtGenEnd
+	for p := sim.Prio(0); p < sim.NumPrio; p++ {
+		st.BusyTime += s.busyAtGenEnd[p]
+	}
+	for _, a := range s.apps {
+		st.AppCaptured = append(st.AppCaptured, a.Captured)
+	}
+	st.AppDrops, st.QueueDrops = s.stack.dropStats()
+	st.Stamped, st.TsErrSum, st.TsErrMax, st.TsTies = s.tsStamped, s.tsErrSum, s.tsErrMax, s.tsTies
+	return st
+}
+
+// Done reports whether the generation phase of the current run has ended
+// (profiling tools stop sampling at this point).
+func (s *System) Done() bool { return s.genDone }
+
+// Apps exposes the applications (read-only use in tests and experiments).
+func (s *System) Apps() []*App { return s.apps }

@@ -1,0 +1,244 @@
+// Package core implements the thesis's measurement methodology (Chapter 3):
+// the four systems under test (swan, snipe, moorhen, flamingo), the
+// workload definition, the measurement cycle (start capture and profiling,
+// read the generator-side counters, generate, read counters, stop —
+// repeated over data rates and repetitions), and the aggregation of
+// capturing rate and CPU usage.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/capture"
+	"repro/internal/dist"
+	"repro/internal/pktgen"
+	"repro/internal/trace"
+)
+
+// FlamingoFriction is the kernel-cost factor of the FreeBSD/Xeon
+// combination. The thesis observes — without dissecting the cause — that
+// flamingo "is often losing more packets than the other systems"; this
+// factor encodes that observation as extra per-packet kernel cost (FreeBSD
+// 5.x interrupt handling on Netburst/ServerWorks was notoriously
+// expensive: Giant-locked interrupt threads, slow APIC access).
+const FlamingoFriction = 1.9
+
+// Swan returns the Linux / dual AMD Opteron system.
+func Swan() capture.Config {
+	return capture.Config{Name: "swan", Arch: arch.Opteron244(), OS: capture.Linux}
+}
+
+// Snipe returns the Linux / dual Intel Xeon system.
+func Snipe() capture.Config {
+	return capture.Config{Name: "snipe", Arch: arch.Xeon306(), OS: capture.Linux}
+}
+
+// Moorhen returns the FreeBSD 5.4 / dual AMD Opteron system.
+func Moorhen() capture.Config {
+	return capture.Config{Name: "moorhen", Arch: arch.Opteron244(), OS: capture.FreeBSD}
+}
+
+// Flamingo returns the FreeBSD 5.4 / dual Intel Xeon system.
+func Flamingo() capture.Config {
+	return capture.Config{
+		Name: "flamingo", Arch: arch.Xeon306(), OS: capture.FreeBSD,
+		KernelCostFactor: FlamingoFriction,
+	}
+}
+
+// Sniffers returns the four systems in the thesis's plotting order.
+func Sniffers() []capture.Config {
+	return []capture.Config{Swan(), Snipe(), Moorhen(), Flamingo()}
+}
+
+// Workload describes the generated packet train of one measurement run.
+type Workload struct {
+	// Packets per run. The thesis generates 1 000 000 per run; smaller
+	// values time-compress the experiment (see Scale).
+	Packets int
+	// TargetRate is the wire data rate in bits/s (0 = unpaced line rate).
+	TargetRate float64
+	// Seed selects the deterministic packet train; repetitions use
+	// different seeds.
+	Seed uint64
+	// FixedSize, when nonzero, disables the size distribution and
+	// generates fixed-size frames (classic pktgen mode).
+	FixedSize int
+}
+
+// scale is the time-compression factor of a run relative to the thesis's
+// 1M-packet runs. Buffer capacities and OS time constants scale linearly
+// with run length so that a 50k-packet run reproduces the drop dynamics of
+// a 1M-packet run exactly (every overflow condition in the model is a
+// product of rate × time versus bytes).
+func (w Workload) scale() float64 {
+	s := float64(w.Packets) / 1_000_000
+	if s > 1 {
+		s = 1
+	}
+	if s < 1.0/5000 {
+		s = 1.0 / 5000
+	}
+	return s
+}
+
+// mwnDistribution is the measurement distribution, built once.
+var mwnDistribution = func() *dist.Distribution {
+	d, err := dist.Build(trace.MWNCounts(1_000_000), dist.DefaultParams())
+	if err != nil {
+		panic(err)
+	}
+	return d
+}()
+
+// Generator builds the enhanced pktgen instance for a workload.
+func (w Workload) Generator() *pktgen.Generator {
+	g := pktgen.New(w.Seed)
+	g.Config.Count = w.Packets
+	g.Config.TargetRate = w.TargetRate
+	if w.FixedSize > 0 {
+		g.Config.PktSize = w.FixedSize
+	} else {
+		g.LoadDistribution(mwnDistribution)
+	}
+	return g
+}
+
+// Prepare time-compresses a system configuration for the workload and
+// fills in the buffer defaults if unset.
+func Prepare(cfg capture.Config, w Workload) capture.Config {
+	if cfg.Costs == (capture.Costs{}) {
+		cfg.Costs = capture.DefaultCosts()
+	}
+	s := w.scale()
+	if cfg.BufferBytes == 0 {
+		if cfg.OS == capture.Linux {
+			cfg.BufferBytes = capture.DefaultLinuxRcvbuf
+		} else {
+			cfg.BufferBytes = capture.DefaultBSDBuffer
+		}
+	}
+	cfg.BufferBytes = scaleBytes(cfg.BufferBytes, s)
+	cfg.Costs.HousekeepNS *= s
+	cfg.Costs.HousekeepPeriodNS *= s
+	cfg.Costs.TimesliceNS *= s
+	cfg.Costs.ReadTimeoutNS *= s
+	cfg.Costs.PipeBufBytes = scaleBytes(cfg.Costs.PipeBufBytes, s)
+	cfg.Costs.WorkerQueueBytes = scaleBytes(cfg.Costs.WorkerQueueBytes, s)
+	if cfg.DiskQueueBytes == 0 {
+		cfg.DiskQueueBytes = scaleBytes(32<<20, s)
+	}
+	return cfg
+}
+
+func scaleBytes(b int, s float64) int {
+	v := int(float64(b) * s)
+	if v < 4096 {
+		v = 4096
+	}
+	return v
+}
+
+// RunOnce executes one measurement of one system: build the system, feed
+// the generated train, return statistics.
+func RunOnce(cfg capture.Config, w Workload) capture.Stats {
+	sys := capture.NewSystem(Prepare(cfg, w))
+	return sys.Run(w.Generator())
+}
+
+// Point is one plotted point: a system at one x value, aggregated over
+// repetitions.
+type Point struct {
+	System    string
+	X         float64 // data rate in Mbit/s (or buffer kB, etc.)
+	Rate      float64 // average capturing rate, percent
+	RateMin   float64
+	RateMax   float64
+	Worst     float64 // per-app worst/avg/best (multi-app plots)
+	Avg       float64
+	Best      float64
+	CPU       float64 // average CPU usage, percent
+	Generated uint64
+}
+
+// Series is the result of sweeping one system over x values.
+type Series struct {
+	System string
+	Points []Point
+}
+
+// SweepRates runs the full measurement cycle of §3.4 for each system over
+// the data rates (Mbit/s), repeating each point reps times with distinct
+// seeds and averaging — the thesis repeats each point seven times "to
+// avoid outliers".
+func SweepRates(cfgs []capture.Config, ratesMbit []float64, w Workload, reps int) []Series {
+	if reps <= 0 {
+		reps = 1
+	}
+	out := make([]Series, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i].System = cfg.Name
+		for _, r := range ratesMbit {
+			wl := w
+			wl.TargetRate = r * 1e6
+			pt := runPoint(cfg, wl, reps)
+			pt.X = r
+			out[i].Points = append(out[i].Points, pt)
+		}
+	}
+	return out
+}
+
+// runPoint aggregates reps runs at one configuration.
+func runPoint(cfg capture.Config, w Workload, reps int) Point {
+	pt := Point{System: cfg.Name, RateMin: 200, RateMax: -1}
+	var worstS, avgS, bestS, cpuS float64
+	for rep := 0; rep < reps; rep++ {
+		wl := w
+		wl.Seed = w.Seed + uint64(rep)*7919
+		st := RunOnce(cfg, wl)
+		r := st.CaptureRate()
+		pt.Rate += r
+		if r < pt.RateMin {
+			pt.RateMin = r
+		}
+		if r > pt.RateMax {
+			pt.RateMax = r
+		}
+		wo, av, be := st.AppRates()
+		worstS += wo
+		avgS += av
+		bestS += be
+		cpuS += st.CPUUsage()
+		pt.Generated = st.Generated
+	}
+	n := float64(reps)
+	pt.Rate /= n
+	pt.Worst, pt.Avg, pt.Best = worstS/n, avgS/n, bestS/n
+	pt.CPU = cpuS / n
+	return pt
+}
+
+// FormatTable renders series the way the thesis plots read: one row per x
+// value, one rate/CPU column pair per system.
+func FormatTable(title string, series []Series) string {
+	out := fmt.Sprintf("# %s\n", title)
+	if len(series) == 0 {
+		return out
+	}
+	out += "# x"
+	for _, s := range series {
+		out += fmt.Sprintf("\t%s:rate%%\t%s:cpu%%", s.System, s.System)
+	}
+	out += "\n"
+	for i := range series[0].Points {
+		out += fmt.Sprintf("%.0f", series[0].Points[i].X)
+		for _, s := range series {
+			p := s.Points[i]
+			out += fmt.Sprintf("\t%6.2f\t%6.2f", p.Rate, p.CPU)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package cpuprof reimplements the thesis's profiling tools (Chapter 5,
+// §A.3/A.4): cpusage, which samples the CPU state counters every half
+// second and reports per-state percentages, and trimusage, which
+// postprocesses a cpusage log by extracting the longest run of samples
+// whose idle value stays below a limit (the actual measurement window) and
+// averaging over it.
+//
+// Instead of /proc/stat (Linux) or the kern.cp_time sysctl (FreeBSD), the
+// sampler reads the simulated machine's busy counters; everything
+// downstream — formats, trimming, summaries — matches the original tools.
+package cpuprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/sim"
+)
+
+// DefaultInterval is cpusage's sampling period ("each half second").
+const DefaultInterval = 500 * sim.Millisecond
+
+// Sample is one cpusage line: the share of each CPU state over one
+// interval, in percent of total CPU capacity.
+type Sample struct {
+	At   sim.Time
+	User float64
+	Sys  float64 // kernel context (syscalls, housekeeping)
+	Soft float64 // soft interrupts (Linux NET_RX)
+	Intr float64 // hardware interrupts
+	Idle float64
+}
+
+// States returns the values in cpusage's column order for the OS: Linux
+// prints 7 states (user nice system idle iowait irq softirq), FreeBSD 5
+// (user nice sys intr idle) — the difference trimusage's field counting
+// has to cope with, as the thesis notes in its awk listing.
+func (s Sample) States(os capture.OS) []float64 {
+	if os == capture.Linux {
+		return []float64{s.User, 0, s.Sys, s.Idle, 0, s.Intr, s.Soft}
+	}
+	return []float64{s.User, 0, s.Sys + s.Soft, s.Intr, s.Idle}
+}
+
+// StateNames returns the column names matching States.
+func StateNames(os capture.OS) []string {
+	if os == capture.Linux {
+		return []string{"user", "nice", "sys", "idle", "iowait", "irq", "softirq"}
+	}
+	return []string{"user", "nice", "sys", "intr", "idle"}
+}
+
+// Sampler collects samples from a running simulated system.
+type Sampler struct {
+	Interval sim.Time
+	Samples  []Sample
+
+	sys  *capture.System
+	prev [sim.NumPrio]sim.Time
+	last sim.Time
+}
+
+// Attach arms a sampler on sys; it samples every interval until the
+// system's generation phase ends. Attach must be called before sys.Run.
+func Attach(sys *capture.System, interval sim.Time) *Sampler {
+	if interval <= 0 {
+		interval = DefaultInterval
+	}
+	sp := &Sampler{Interval: interval, sys: sys}
+	var tick func()
+	tick = func() {
+		sp.take()
+		if !sys.Done() {
+			sys.Sim.After(sp.Interval, tick)
+		}
+	}
+	sys.Sim.After(interval, tick)
+	return sp
+}
+
+func (sp *Sampler) take() {
+	now := sp.sys.Sim.Now()
+	window := float64(now - sp.last)
+	if window <= 0 {
+		return
+	}
+	capacity := window * float64(len(sp.sys.Machine.CPUs))
+	var cur [sim.NumPrio]sim.Time
+	for _, c := range sp.sys.Machine.CPUs {
+		for p := sim.Prio(0); p < sim.NumPrio; p++ {
+			cur[p] += c.Busy(p)
+		}
+	}
+	pct := func(p sim.Prio) float64 {
+		return float64(cur[p]-sp.prev[p]) / capacity * 100
+	}
+	s := Sample{
+		At:   now,
+		User: pct(sim.PrioUser),
+		Sys:  pct(sim.PrioKernel),
+		Soft: pct(sim.PrioSoftIRQ),
+		Intr: pct(sim.PrioHardIRQ),
+	}
+	s.Idle = 100 - s.User - s.Sys - s.Soft - s.Intr
+	if s.Idle < 0 {
+		s.Idle = 0
+	}
+	sp.Samples = append(sp.Samples, s)
+	sp.prev = cur
+	sp.last = now
+}
+
+// Write renders samples in cpusage's output format; machineReadable
+// matches the -o option ("no CPU state names ... only colons separate the
+// values").
+func Write(w io.Writer, samples []Sample, os capture.OS, machineReadable bool) error {
+	bw := bufio.NewWriter(w)
+	names := StateNames(os)
+	for _, s := range samples {
+		vals := s.States(os)
+		if machineReadable {
+			parts := make([]string, len(vals))
+			for i, v := range vals {
+				parts[i] = fmt.Sprintf("%.1f", v)
+			}
+			fmt.Fprintln(bw, strings.Join(parts, ":"))
+			continue
+		}
+		for i, v := range vals {
+			if i > 0 {
+				fmt.Fprint(bw, "  ")
+			}
+			fmt.Fprintf(bw, "%s %5.1f%%", names[i], v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Parse reads machine-readable cpusage output (5 or 7 colon-separated
+// fields per line; trimusage determines the OS from the field count, just
+// like the original awk script infers "7 for Linux, 5 for FreeBSD").
+func Parse(r io.Reader) ([]Sample, capture.OS, error) {
+	sc := bufio.NewScanner(r)
+	var out []Sample
+	os := capture.FreeBSD
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") ||
+			strings.Contains(line, "---") || strings.HasPrefix(line, "Min") ||
+			strings.HasPrefix(line, "Max") || strings.HasPrefix(line, "Avg") {
+			continue // trimusage ignores these lines too
+		}
+		fields := strings.Split(line, ":")
+		vals := make([]float64, len(fields))
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, os, fmt.Errorf("cpuprof: line %d: bad value %q", lineNo, f)
+			}
+			vals[i] = v
+		}
+		var s Sample
+		switch len(vals) {
+		case 7: // Linux: user nice sys idle iowait irq softirq
+			os = capture.Linux
+			s = Sample{User: vals[0], Sys: vals[2], Idle: vals[3], Intr: vals[5], Soft: vals[6]}
+		case 5: // FreeBSD: user nice sys intr idle
+			os = capture.FreeBSD
+			s = Sample{User: vals[0], Sys: vals[2], Intr: vals[3], Idle: vals[4]}
+		default:
+			return nil, os, fmt.Errorf("cpuprof: line %d: %d fields (want 5 or 7)", lineNo, len(vals))
+		}
+		out = append(out, s)
+	}
+	return out, os, sc.Err()
+}
+
+// Trim extracts the longest consecutive run of samples whose idle value is
+// below idleLimit — trimusage's core logic ("determine the longest set of
+// lines under the limit"; default limit 95).
+func Trim(samples []Sample, idleLimit float64) []Sample {
+	if idleLimit <= 0 {
+		idleLimit = 95
+	}
+	bestStart, bestLen := 0, 0
+	curStart, curLen := 0, 0
+	for i, s := range samples {
+		if s.Idle < idleLimit {
+			if curLen == 0 {
+				curStart = i
+			}
+			curLen++
+			if curLen > bestLen {
+				bestStart, bestLen = curStart, curLen
+			}
+		} else {
+			curLen = 0
+		}
+	}
+	return samples[bestStart : bestStart+bestLen]
+}
+
+// Summary is the Min/Max/Avg block cpusage and trimusage append.
+type Summary struct {
+	Min, Max, Avg Sample
+}
+
+// Summarize computes per-state minimum, maximum and average.
+func Summarize(samples []Sample) Summary {
+	if len(samples) == 0 {
+		return Summary{}
+	}
+	min := samples[0]
+	max := samples[0]
+	var sum Sample
+	upd := func(dst *float64, v float64, better func(a, b float64) bool) {
+		if better(v, *dst) {
+			*dst = v
+		}
+	}
+	lt := func(a, b float64) bool { return a < b }
+	gt := func(a, b float64) bool { return a > b }
+	for _, s := range samples {
+		upd(&min.User, s.User, lt)
+		upd(&min.Sys, s.Sys, lt)
+		upd(&min.Soft, s.Soft, lt)
+		upd(&min.Intr, s.Intr, lt)
+		upd(&min.Idle, s.Idle, lt)
+		upd(&max.User, s.User, gt)
+		upd(&max.Sys, s.Sys, gt)
+		upd(&max.Soft, s.Soft, gt)
+		upd(&max.Intr, s.Intr, gt)
+		upd(&max.Idle, s.Idle, gt)
+		sum.User += s.User
+		sum.Sys += s.Sys
+		sum.Soft += s.Soft
+		sum.Intr += s.Intr
+		sum.Idle += s.Idle
+	}
+	n := float64(len(samples))
+	return Summary{
+		Min: min,
+		Max: max,
+		Avg: Sample{User: sum.User / n, Sys: sum.Sys / n, Soft: sum.Soft / n,
+			Intr: sum.Intr / n, Idle: sum.Idle / n},
+	}
+}
+
+// Busy returns the average non-idle percentage of a sample set.
+func Busy(samples []Sample) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var b float64
+	for _, s := range samples {
+		b += 100 - s.Idle
+	}
+	return b / float64(len(samples))
+}

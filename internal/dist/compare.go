@@ -1,0 +1,57 @@
+package dist
+
+import "math"
+
+// Comparison quantifies how closely a generated size distribution matches
+// its input — the question §4.3.1 answers visually with Figure 4.3.
+type Comparison struct {
+	// TotalVariation is ½·Σ|p_i − q_i| over all sizes: the largest
+	// probability mass any event can differ by. 0 = identical, 1 = disjoint.
+	TotalVariation float64
+	// ChiSquare is Σ (o_i − e_i)²/e_i with expected counts from the
+	// reference scaled to the observed total (sizes with zero expectation
+	// and nonzero observation contribute their observed count).
+	ChiSquare float64
+	// MaxAbsDiff is the largest per-size |p_i − q_i|.
+	MaxAbsDiff float64
+	// MaxAbsDiffSize is the size where MaxAbsDiff occurs.
+	MaxAbsDiffSize int
+	// MeanDiff is |mean(p) − mean(q)| in bytes.
+	MeanDiff float64
+}
+
+// Compare measures the observed distribution against the reference.
+// Either side being empty yields the zero Comparison.
+func Compare(reference, observed *Counts) Comparison {
+	var c Comparison
+	if reference.Total() == 0 || observed.Total() == 0 {
+		return c
+	}
+	sizes := map[int]bool{}
+	for _, s := range reference.Sizes() {
+		sizes[s] = true
+	}
+	for _, s := range observed.Sizes() {
+		sizes[s] = true
+	}
+	scale := float64(observed.Total()) / float64(reference.Total())
+	for s := range sizes {
+		p := reference.Fraction(s)
+		q := observed.Fraction(s)
+		d := math.Abs(p - q)
+		c.TotalVariation += d
+		if d > c.MaxAbsDiff {
+			c.MaxAbsDiff, c.MaxAbsDiffSize = d, s
+		}
+		expected := float64(reference.Get(s)) * scale
+		obs := float64(observed.Get(s))
+		if expected > 0 {
+			c.ChiSquare += (obs - expected) * (obs - expected) / expected
+		} else {
+			c.ChiSquare += obs
+		}
+	}
+	c.TotalVariation /= 2
+	c.MeanDiff = math.Abs(reference.Mean() - observed.Mean())
+	return c
+}

@@ -1,0 +1,112 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Counts accumulates how many packets of each size were seen. The zero
+// value is ready to use.
+type Counts struct {
+	c     map[int]uint64
+	total uint64
+}
+
+// Add records n packets of the given size.
+func (c *Counts) Add(size int, n uint64) {
+	if size < 0 {
+		return
+	}
+	if c.c == nil {
+		c.c = make(map[int]uint64)
+	}
+	c.c[size] += n
+	c.total += n
+}
+
+// Total returns the number of recorded packets.
+func (c *Counts) Total() uint64 { return c.total }
+
+// Get returns the count for one size.
+func (c *Counts) Get(size int) uint64 { return c.c[size] }
+
+// Sizes returns the distinct sizes in ascending order.
+func (c *Counts) Sizes() []int {
+	out := make([]int, 0, len(c.c))
+	for s := range c.c {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Mean returns the average packet size.
+func (c *Counts) Mean() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	var sum float64
+	for s, n := range c.c {
+		sum += float64(s) * float64(n)
+	}
+	return sum / float64(c.total)
+}
+
+// Fraction returns count(size)/total (Equation 4.1).
+func (c *Counts) Fraction(size int) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.c[size]) / float64(c.total)
+}
+
+// SizeShare is one row of the Figure 4.2 histogram.
+type SizeShare struct {
+	Size       int
+	Count      uint64
+	Fraction   float64 // share of all packets
+	Cumulative float64 // running sum in descending-share order
+}
+
+// TopShares returns the n most frequent sizes in descending share order
+// with cumulative fractions, plus the share of the remainder ("rest" in
+// Figure 4.2). n <= 0 returns all sizes.
+func (c *Counts) TopShares(n int) (top []SizeShare, rest float64) {
+	type kv struct {
+		size  int
+		count uint64
+	}
+	all := make([]kv, 0, len(c.c))
+	for s, cnt := range c.c {
+		all = append(all, kv{s, cnt})
+	}
+	// Descending by count; ascending size breaks ties deterministically.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].size < all[j].size
+	})
+	if n <= 0 || n > len(all) {
+		n = len(all)
+	}
+	cum := 0.0
+	for _, e := range all[:n] {
+		f := float64(e.count) / float64(c.total)
+		cum += f
+		top = append(top, SizeShare{Size: e.size, Count: e.count, Fraction: f, Cumulative: cum})
+	}
+	return top, 1 - cum
+}
+
+// Validate checks the invariant between the per-size counts and the total.
+func (c *Counts) Validate() error {
+	var sum uint64
+	for _, n := range c.c {
+		sum += n
+	}
+	if sum != c.total {
+		return fmt.Errorf("dist: count total %d != sum %d", c.total, sum)
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadSizes reads the "sizes" input type of createDist: whitespace- or
+// newline-separated packet sizes, arbitrarily many per line, arbitrarily
+// long ("same numbers can occur arbitrarily often", §A.1.1).
+func ReadSizes(r io.Reader, counts *Counts) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	sc.Split(bufio.ScanWords)
+	for sc.Scan() {
+		v, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			return fmt.Errorf("dist: bad size %q", sc.Text())
+		}
+		counts.Add(v, 1)
+	}
+	return sc.Err()
+}
+
+// ReadDist reads the "dist" input type: one "<size><sep><count>" pair per
+// line. sep is the field separator (createDist -fs, default space; any
+// whitespace is accepted for the default).
+func ReadDist(r io.Reader, sep byte, counts *Counts) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var fields []string
+		if sep == ' ' {
+			fields = strings.Fields(line)
+		} else {
+			fields = strings.Split(line, string(sep))
+		}
+		if len(fields) != 2 {
+			return fmt.Errorf("dist: bad dist line %q", line)
+		}
+		size, err1 := strconv.Atoi(strings.TrimSpace(fields[0]))
+		n, err2 := strconv.ParseUint(strings.TrimSpace(fields[1]), 10, 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("dist: bad dist line %q", line)
+		}
+		counts.Add(size, n)
+	}
+	return sc.Err()
+}
+
+// WriteDist writes the "dist" output type: "<size><sep><count>" in
+// ascending size order.
+func WriteDist(w io.Writer, sep byte, counts *Counts) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range counts.Sizes() {
+		if _, err := fmt.Fprintf(bw, "%d%c%d\n", s, sep, counts.Get(s)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteSizes writes n sizes sampled from d, one per line: the "sizes"
+// output type, in which createDist "produces packet sizes according to the
+// distribution and acts like the generator" (§A.1.2).
+func WriteSizes(w io.Writer, d *Distribution, rng *RNG, n int) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < n; i++ {
+		if _, err := fmt.Fprintln(bw, d.Sample(rng)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,125 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteProcfs emits the distribution in the procfs exchange format of
+// §A.2.2:
+//
+//	dist <precision> <hist_width> <max_pktsize> <num_outliers> <num_bins>
+//	outl <size> <cells>      (num_outliers lines)
+//	hist <size> <cells>      (num_bins lines)
+//
+// With pgset=true each line is wrapped as `pgset "..."`, matching the -s
+// option of createDist ("useful when using the output with the script
+// supplied in pktgen.txt").
+func WriteProcfs(w io.Writer, d *Distribution, pgset bool) error {
+	emit := func(line string) error {
+		if pgset {
+			_, err := fmt.Fprintf(w, "pgset %q\n", line)
+			return err
+		}
+		_, err := fmt.Fprintln(w, line)
+		return err
+	}
+	p := d.Params
+	if err := emit(fmt.Sprintf("dist %d %d %d %d %d",
+		p.Precision, p.BinSize, p.MaxSize, len(d.Outliers), len(d.Bins))); err != nil {
+		return err
+	}
+	for _, e := range d.Outliers {
+		if err := emit(fmt.Sprintf("outl %d %d", e.Size, e.Cells)); err != nil {
+			return err
+		}
+	}
+	for _, e := range d.Bins {
+		if err := emit(fmt.Sprintf("hist %d %d", e.Size, e.Cells)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ParseProcfs reads a distribution in the procfs format (pgset-wrapped
+// lines are unwrapped transparently).
+func ParseProcfs(r io.Reader) (*Distribution, error) {
+	sc := bufio.NewScanner(r)
+	var params Params
+	var outliers, bins []Entry
+	wantOutl, wantBins := -1, -1
+	sawDist := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "pgset") {
+			line = strings.TrimSpace(strings.TrimPrefix(line, "pgset"))
+			line = strings.Trim(line, `"`)
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "dist":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("dist: bad dist line %q", line)
+			}
+			vals, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("dist: bad dist line %q: %v", line, err)
+			}
+			params = Params{Precision: vals[0], BinSize: vals[1], MaxSize: vals[2]}
+			wantOutl, wantBins = vals[3], vals[4]
+			sawDist = true
+		case "outl", "hist":
+			if !sawDist {
+				return nil, fmt.Errorf("dist: %s before dist line", fields[0])
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dist: bad %s line %q", fields[0], line)
+			}
+			vals, err := atoiAll(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("dist: bad %s line %q: %v", fields[0], line, err)
+			}
+			e := Entry{Size: vals[0], Cells: vals[1]}
+			if fields[0] == "outl" {
+				outliers = append(outliers, e)
+			} else {
+				bins = append(bins, e)
+			}
+		default:
+			return nil, fmt.Errorf("dist: unknown directive %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawDist {
+		return nil, fmt.Errorf("dist: missing dist line")
+	}
+	if wantOutl != len(outliers) || wantBins != len(bins) {
+		return nil, fmt.Errorf("dist: header promised %d outl / %d hist lines, got %d / %d",
+			wantOutl, wantBins, len(outliers), len(bins))
+	}
+	return FromEntries(params, outliers, bins)
+}
+
+func atoiAll(fields []string) ([]int, error) {
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+// Package dist implements the packet-size-distribution machinery of the
+// thesis: counting sizes (createDist), the two-stage outliers/bins
+// representation of §4.2.2, the array computation of §4.2.3, the procfs
+// exchange format of §A.2.2, and deterministic sampling (the enhanced
+// pktgen's mod_cur_pktsize()).
+//
+// Sizes throughout this package are IP datagram lengths in bytes — the
+// quantity ipsumdump extracts and Figure 4.1 plots (hence the 40-byte floor
+// for bare ACKs). The generator adds the 14-byte Ethernet header on top.
+package dist
+
+// RNG is a deterministic xorshift64* pseudo-random generator. It stands in
+// for the kernel's net_random(): fast, seedable, and fully reproducible,
+// which the methodology requires ("the sequence of packets should be
+// identical across different measurements", §3.2).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed (0 is remapped to a fixed
+// nonzero constant; xorshift has an all-zero fixed point).
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Uint32 returns the next 32 pseudo-random bits (net_random() analogue).
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics for n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	// Multiply-shift range reduction; the tiny modulo bias of the kernel's
+	// "net_random() % n" idiom is avoided essentially for free.
+	return int((r.Uint64() >> 32) * uint64(n) >> 32)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}

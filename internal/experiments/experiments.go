@@ -1,0 +1,459 @@
+// Package experiments defines one runnable experiment per table and figure
+// of the thesis's evaluation (Chapters 4 and 6 plus Appendix B), maps each
+// to the modules that implement it, and renders the same series the thesis
+// plots. See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/filter"
+	"repro/internal/pktgen"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Options control experiment fidelity: more packets and repetitions cost
+// time but tighten the results. Defaults reproduce the shapes quickly.
+type Options struct {
+	Packets int       // packets per run (thesis: 1 000 000)
+	Reps    int       // repetitions per point (thesis: 7)
+	Seed    uint64    // base seed
+	Rates   []float64 // data-rate sweep in Mbit/s (default 50..950 step 50)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Packets <= 0 {
+		o.Packets = 40000
+	}
+	if o.Reps <= 0 {
+		o.Reps = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Rates) == 0 {
+		for r := 50.0; r <= 950; r += 50 {
+			o.Rates = append(o.Rates, r)
+		}
+	}
+	return o
+}
+
+// Experiment is one reproducible table/figure.
+type Experiment struct {
+	ID    string // thesis plot id, e.g. "fig6.3-smp"
+	Paper string // the figure/table in the thesis
+	Title string
+	Run   func(o Options) string
+}
+
+// All returns every experiment: the thesis's tables and figures in thesis
+// order, followed by the future-work extensions and model ablations
+// (extensions.go).
+func All() []Experiment {
+	return append(thesisExperiments(), extensions()...)
+}
+
+func thesisExperiments() []Experiment {
+	return []Experiment{
+		{"fig4.1", "Figure 4.1", "packet size distribution of the 24h MWN trace", runFig41},
+		{"fig4.2", "Figure 4.2", "top-20 packet sizes with cumulative shares", runFig42},
+		{"fig4.3", "Figure 4.3/§4.3.1", "generator output fidelity vs input distribution", runFig43},
+		{"gen-rate", "§4.1.3", "maximum generation rate by fixed packet size", runGenRate},
+		{"fig6.2-nosmp", "Figure 6.2 (33)", "baseline, default buffers, single CPU", sweep(defaultBuffers, single)},
+		{"fig6.2-smp", "Figure 6.2 (19)", "baseline, default buffers, dual CPU", sweep(defaultBuffers, dual)},
+		{"fig6.3-nosmp", "Figure 6.3a (32)", "increased buffers, single CPU", sweep(bigBuffers, single)},
+		{"fig6.3-smp", "Figure 6.3b (19)", "increased buffers, dual CPU", sweep(bigBuffers, dual)},
+		{"fig6.4-nosmp", "Figure 6.4a (33)", "buffer-size sweep at top rate, single CPU", bufferSweep(single)},
+		{"fig6.4-smp", "Figure 6.4b (20)", "buffer-size sweep at top rate, dual CPU", bufferSweep(dual)},
+		{"fig6.6-nosmp", "Figure 6.6a (34)", "50-instruction BPF filter, single CPU", sweep(withFilter, single)},
+		{"fig6.6-smp", "Figure 6.6b (21)", "50-instruction BPF filter, dual CPU", sweep(withFilter, dual)},
+		{"fig6.7", "Figure 6.7 (22)", "two concurrent capturing applications", multiApp(2)},
+		{"fig6.8", "Figure 6.8 (23)", "four concurrent capturing applications", multiApp(4)},
+		{"fig6.9", "Figure 6.9 (24)", "eight concurrent capturing applications", multiApp(8)},
+		{"fig6.10-nosmp", "Figure 6.10a (35)", "50 additional memcpys per packet, single CPU", sweep(memcpy(50), single)},
+		{"fig6.10-smp", "Figure 6.10b (27)", "50 additional memcpys per packet, dual CPU", sweep(memcpy(50), dual)},
+		{"figB.2", "Figure B.2", "25 additional memcpys per packet, dual CPU", sweep(memcpy(25), dual)},
+		{"fig6.11-nosmp", "Figure 6.11a (40)", "zlib level 3 per packet, single CPU", sweep(gzwrite(3), single)},
+		{"fig6.11-smp", "Figure 6.11b (39)", "zlib level 3 per packet, dual CPU", sweep(gzwrite(3), dual)},
+		{"figB.3", "Figure B.3", "zlib level 9 per packet, dual CPU", sweep(gzwrite(9), dual)},
+		{"fig6.12", "Figure 6.12 (48)", "tcpdump piped to gzip -3, dual CPU", sweep(pipeGzip(3), dual)},
+		{"fig6.13", "Figure 6.13 (00)", "bonnie++: maximum disk write speed and CPU", runBonnie},
+		{"fig6.14-nosmp", "Figure 6.14a (46)", "write first 76 bytes of each packet to disk, single CPU", sweep(headerToDisk, single)},
+		{"fig6.14-smp", "Figure 6.14b (45)", "write first 76 bytes of each packet to disk, dual CPU", sweep(headerToDisk, dual)},
+		{"fig6.15-nosmp", "Figure 6.15a (18)", "memory-mapped libpcap on Linux, single CPU", mmapCompare(single)},
+		{"fig6.15-smp", "Figure 6.15b (19)", "memory-mapped libpcap on Linux, dual CPU", mmapCompare(dual)},
+		{"fig6.16", "Figure 6.16 (42)", "Hyperthreading on the Intel systems", runHyperthreading},
+		{"figB.1", "Figure B.1", "FreeBSD 5.2.1 vs 5.4", runOSVersion},
+		{"selfsim", "§2.5 (extension)", "self-similar vs paced arrivals: buffer absorption", runSelfSimilar},
+	}
+}
+
+// Find returns the experiment with the given id.
+func Find(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (see `experiment -list`)", id)
+}
+
+// --- configuration modifiers -------------------------------------------
+
+type modifier func(cfg capture.Config) capture.Config
+
+func single(cfg capture.Config) capture.Config { cfg.NumCPUs = 1; return cfg }
+func dual(cfg capture.Config) capture.Config   { cfg.NumCPUs = 2; return cfg }
+
+func defaultBuffers(cfg capture.Config) capture.Config { return cfg }
+
+func bigBuffers(cfg capture.Config) capture.Config {
+	if cfg.OS == capture.Linux {
+		cfg.BufferBytes = capture.BigLinuxRcvbuf
+	} else {
+		cfg.BufferBytes = capture.BigBSDBuffer
+	}
+	return cfg
+}
+
+func withFilter(cfg capture.Config) capture.Config {
+	cfg = bigBuffers(cfg)
+	cfg.Filter = filter.MustCompile(filter.ReferenceFilterExpr, 1515)
+	return cfg
+}
+
+func memcpy(n int) modifier {
+	return func(cfg capture.Config) capture.Config {
+		cfg = bigBuffers(cfg)
+		cfg.Load.MemcpyCount = n
+		return cfg
+	}
+}
+
+func gzwrite(level int) modifier {
+	return func(cfg capture.Config) capture.Config {
+		cfg = bigBuffers(cfg)
+		cfg.Load.ZlibLevel = level
+		return cfg
+	}
+}
+
+func pipeGzip(level int) modifier {
+	return func(cfg capture.Config) capture.Config {
+		cfg = bigBuffers(cfg)
+		cfg.Load.PipeGzip = level
+		return cfg
+	}
+}
+
+func headerToDisk(cfg capture.Config) capture.Config {
+	cfg = bigBuffers(cfg)
+	cfg.Load.WriteSnapLen = 76
+	return cfg
+}
+
+// --- generic sweeps ------------------------------------------------------
+
+// sweep builds a data-rate sweep over the four systems with the given
+// modifiers applied.
+func sweep(mods ...modifier) func(o Options) string {
+	return func(o Options) string {
+		o = o.withDefaults()
+		cfgs := systems(mods...)
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+		series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+		return core.FormatTable("capturing rate and CPU usage vs data rate [Mbit/s]", series)
+	}
+}
+
+func systems(mods ...modifier) []capture.Config {
+	cfgs := core.Sniffers()
+	for i := range cfgs {
+		for _, m := range mods {
+			cfgs[i] = m(cfgs[i])
+		}
+	}
+	return cfgs
+}
+
+// bufferSweep reproduces Figure 6.4: highest rate, buffer size on the x
+// axis ("the buffer size was reduced by a factor of two for FreeBSD" so
+// the effective capacity matches single-buffered Linux).
+func bufferSweep(cpuMod modifier) func(o Options) string {
+	return func(o Options) string {
+		o = o.withDefaults()
+		var out strings.Builder
+		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
+		fmt.Fprintln(&out, "# kB\tsystem\trate%\tcpu%")
+		for kb := 128; kb <= 262144; kb *= 2 {
+			for _, base := range systems(cpuMod) {
+				cfg := base
+				if cfg.OS == capture.Linux {
+					cfg.BufferBytes = kb << 10
+				} else {
+					cfg.BufferBytes = kb << 10 / 2
+				}
+				w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
+				st := core.RunOnce(cfg, w)
+				fmt.Fprintf(&out, "%d\t%s\t%6.2f\t%6.2f\n", kb, cfg.Name, st.CaptureRate(), st.CPUUsage())
+			}
+		}
+		return out.String()
+	}
+}
+
+// multiApp reproduces Figures 6.7–6.9: n applications, SMP, with the
+// worst/average/best per-application lines.
+func multiApp(n int) func(o Options) string {
+	return func(o Options) string {
+		o = o.withDefaults()
+		var out strings.Builder
+		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
+		fmt.Fprintln(&out, "# rate\tsystem\tworst%\tavg%\tbest%\tcpu%")
+		for _, r := range o.Rates {
+			for _, base := range systems(bigBuffers, dual) {
+				cfg := base
+				cfg.NumApps = n
+				w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+				st := core.RunOnce(cfg, w)
+				wo, av, be := st.AppRates()
+				fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%6.2f\n",
+					r, cfg.Name, wo, av, be, st.CPUUsage())
+			}
+		}
+		return out.String()
+	}
+}
+
+// mmapCompare reproduces Figure 6.15: the two Linux systems with and
+// without the memory-mapped libpcap.
+func mmapCompare(cpuMod modifier) func(o Options) string {
+	return func(o Options) string {
+		o = o.withDefaults()
+		var cfgs []capture.Config
+		for _, mk := range []func() capture.Config{core.Swan, core.Snipe} {
+			stock := bigBuffers(cpuMod(mk()))
+			patched := stock
+			patched.Name += "-mmap"
+			patched.MmapPatch = true
+			cfgs = append(cfgs, stock, patched)
+		}
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+		series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+		return core.FormatTable("mmap'd libpcap vs stock on Linux", series)
+	}
+}
+
+// runHyperthreading reproduces Figure 6.16: the Intel systems, SMP, HT on
+// and off.
+func runHyperthreading(o Options) string {
+	o = o.withDefaults()
+	var cfgs []capture.Config
+	for _, mk := range []func() capture.Config{core.Snipe, core.Flamingo} {
+		off := bigBuffers(dual(mk()))
+		on := off
+		on.Name += "-HT"
+		on.Hyperthreading = true
+		cfgs = append(cfgs, off, on)
+	}
+	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	return core.FormatTable("Hyperthreading on vs off (Intel Xeon systems)", series)
+}
+
+// runOSVersion reproduces Figure B.1: FreeBSD 5.2.1 vs 5.4. The 5.2.1
+// kernel (fully Giant-locked network path) pays a per-packet cost factor.
+func runOSVersion(o Options) string {
+	o = o.withDefaults()
+	const giantFactor = 1.35
+	var cfgs []capture.Config
+	for _, mk := range []func() capture.Config{core.Moorhen, core.Flamingo} {
+		v54 := bigBuffers(dual(mk()))
+		v521 := v54
+		v521.Name += "-5.2.1"
+		if v521.KernelCostFactor == 0 {
+			v521.KernelCostFactor = 1
+		}
+		v521.KernelCostFactor *= giantFactor
+		cfgs = append(cfgs, v54, v521)
+	}
+	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	return core.FormatTable("FreeBSD 5.4 vs 5.2.1", series)
+}
+
+// --- chapter 4 experiments ----------------------------------------------
+
+func runFig41(o Options) string {
+	o = o.withDefaults()
+	c := trace.MWNCounts(10_000_000)
+	var out strings.Builder
+	fmt.Fprintln(&out, "# packet size distribution (24h-trace shape): size, count, fraction")
+	fmt.Fprintf(&out, "# total %d packets, mean %.1f bytes\n", c.Total(), c.Mean())
+	for _, s := range c.Sizes() {
+		n := c.Get(s)
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(&out, "%d\t%d\t%.6f\n", s, n, c.Fraction(s))
+	}
+	return out.String()
+}
+
+func runFig42(o Options) string {
+	c := trace.MWNCounts(10_000_000)
+	top, rest := c.TopShares(20)
+	var out strings.Builder
+	fmt.Fprintln(&out, "# top-20 packet sizes: size, fraction%, cumulative%")
+	for _, e := range top {
+		fmt.Fprintf(&out, "%d\t%6.2f\t%6.2f\n", e.Size, e.Fraction*100, e.Cumulative*100)
+	}
+	fmt.Fprintf(&out, "rest\t%6.2f\t100.00\n", rest*100)
+	return out.String()
+}
+
+func runFig43(o Options) string {
+	o = o.withDefaults()
+	input := trace.MWNCounts(1_000_000)
+	d, err := dist.Build(input, dist.DefaultParams())
+	if err != nil {
+		return "error: " + err.Error()
+	}
+	g := pktgen.New(o.Seed)
+	g.LoadDistribution(d)
+	g.Config.Count = o.Packets * 4
+	var got dist.Counts
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		got.Add(len(p.Data)-14, 1) // back to IP length
+	}
+	var out strings.Builder
+	fmt.Fprintln(&out, "# generator fidelity: size, input fraction%, generated fraction%")
+	var worst float64
+	var sizes []int
+	for _, e := range d.Outliers {
+		sizes = append(sizes, e.Size)
+	}
+	sort.Ints(sizes)
+	for _, s := range sizes {
+		in := input.Fraction(s) * 100
+		gen := got.Fraction(s) * 100
+		if dev := abs(in - gen); dev > worst {
+			worst = dev
+		}
+		fmt.Fprintf(&out, "%d\t%7.3f\t%7.3f\n", s, in, gen)
+	}
+	fmt.Fprintf(&out, "# mean: input %.1f, generated %.1f; worst outlier deviation %.3f%%\n",
+		input.Mean(), got.Mean(), worst)
+	cmp := dist.Compare(input, &got)
+	fmt.Fprintf(&out, "# distance: total variation %.4f, chi-square %.1f, max |Δp| %.4f @ %d B, |Δmean| %.2f B\n",
+		cmp.TotalVariation, cmp.ChiSquare, cmp.MaxAbsDiff, cmp.MaxAbsDiffSize, cmp.MeanDiff)
+	return out.String()
+}
+
+func runGenRate(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# maximum generation rate by frame size: size, Mbit/s (wire), kpps")
+	for _, size := range []int{64, 128, 256, 512, 760, 1024, 1280, 1500} {
+		g := pktgen.New(o.Seed)
+		g.Config.Count = o.Packets
+		g.Config.PktSize = size
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+		secs := g.LastTime.Seconds()
+		fmt.Fprintf(&out, "%d\t%7.1f\t%7.1f\n", size,
+			g.AchievedRate()/1e6, float64(g.Sent)/secs/1e3)
+	}
+	return out.String()
+}
+
+// --- other experiments ---------------------------------------------------
+
+func runBonnie(o Options) string {
+	var out strings.Builder
+	fmt.Fprintln(&out, "# bonnie++: system, write MB/s, CPU%, line-speed demand 119 MB/s, header demand 13.6 MB/s")
+	for _, cfg := range core.Sniffers() {
+		r := capture.Bonnie(cfg)
+		fmt.Fprintf(&out, "%s\t%6.1f\t%5.1f\n", r.System, r.WriteMBps, r.CPUPct)
+	}
+	return out.String()
+}
+
+// runSelfSimilar is the extension experiment motivated by §2.5: with the
+// same average rate, self-similar (bursty) arrivals overflow a buffer that
+// paced arrivals never touch.
+func runSelfSimilar(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# paced vs self-similar arrivals at equal average rate (swan, default buffers, 1 CPU)")
+	fmt.Fprintln(&out, "# rate\tpaced-rate%\tbursty-rate%")
+	for _, r := range []float64{200, 400, 600} {
+		paced := runArrival(o, r, false)
+		bursty := runArrival(o, r, true)
+		fmt.Fprintf(&out, "%.0f\t%6.2f\t%6.2f\n", r, paced, bursty)
+	}
+	return out.String()
+}
+
+func runArrival(o Options, rateMbit float64, bursty bool) float64 {
+	cfg := core.Prepare(single(core.Swan()), core.Workload{Packets: o.Packets})
+	sys := capture.NewSystem(cfg)
+	g := pktgen.New(o.Seed)
+	g.LoadDistribution(mwnDist())
+	g.Config.Count = o.Packets
+	g.Config.TargetRate = rateMbit * 1e6
+	if !bursty {
+		return sys.Run(g).CaptureRate()
+	}
+	// Bursty: reshape the paced train with self-similar gaps of the same
+	// mean.
+	meanGap := 645.0 * 8 / (rateMbit * 1e6) * 1e9
+	gaps := trace.SelfSimilarArrivals(o.Packets, meanGap, 16, 1.5, o.Seed)
+	st := sys.RunWithArrivals(g, gaps)
+	return st.CaptureRate()
+}
+
+var mwnCached *dist.Distribution
+
+func mwnDist() *dist.Distribution {
+	if mwnCached == nil {
+		d, err := dist.Build(trace.MWNCounts(1_000_000), dist.DefaultParams())
+		if err != nil {
+			panic(err)
+		}
+		mwnCached = d
+	}
+	return mwnCached
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Spread reports the fairness criterion of §6.3.3 for a finished multi-app
+// run: the thesis's "deviation of about five percent under FreeBSD".
+func Spread(st capture.Stats) stats.Summary {
+	rates := make([]float64, len(st.AppCaptured))
+	for i, c := range st.AppCaptured {
+		rates[i] = float64(c) / float64(st.Generated) * 100
+	}
+	return stats.Summarize(rates)
+}

@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/trace"
+)
+
+// extensions returns the experiments beyond the thesis's own evaluation:
+// its §7.2 future-work items and ablations of the model's design choices.
+func extensions() []Experiment {
+	return []Experiment{
+		{"ext-pfring", "§7.2 / [Der05]", "ring-buffer capturing stack (PF_RING-style) on Linux", runPFRing},
+		{"ext-bsdmmap", "§7.2", "memory-mapped (zero-copy read) libpcap for FreeBSD", runBSDMmap},
+		{"ext-workers", "§7.2 / [DV04]", "multithreaded packet analysis on multiprocessors", runWorkers},
+		{"ext-10gbe", "§7.2", "outlook: the same systems against 10 Gigabit Ethernet", run10GbE},
+		{"ext-production", "§2.3/§4.1.4", "a production day on the MWN uplink (filter + flows + header traces)", runProduction},
+		{"ext-moderation", "§2.2.1", "interrupt moderation: CPU relief vs timestamp accuracy", runModeration},
+		{"abl-housekeeping", "model ablation", "default-buffer drop onset with and without OS housekeeping stalls", runAblHousekeeping},
+		{"abl-contention", "model ablation", "Xeon front-side-bus contention on vs off under copy load", runAblContention},
+	}
+}
+
+// runPFRing compares the stock Linux stack, PACKET_MMAP, and the
+// ring-buffer stack on the Linux systems at single-CPU (where the Linux
+// stack hurts most).
+func runPFRing(o Options) string {
+	o = o.withDefaults()
+	var cfgs []capture.Config
+	for _, mk := range []func() capture.Config{core.Swan, core.Snipe} {
+		stock := bigBuffers(single(mk()))
+		mmap := stock
+		mmap.Name += "-mmap"
+		mmap.MmapPatch = true
+		ring := stock
+		ring.Name += "-ring"
+		ring.PFRing = true
+		cfgs = append(cfgs, stock, mmap, ring)
+	}
+	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	return core.FormatTable("stock vs PACKET_MMAP vs ring stack (Linux, single CPU)", series)
+}
+
+// runBSDMmap evaluates the zero-copy read for FreeBSD the thesis proposes:
+// "since FreeBSD seems to perform better than Linux in general, this could
+// boost the capturing rates and reduce the CPU load" (§7.2).
+func runBSDMmap(o Options) string {
+	o = o.withDefaults()
+	var cfgs []capture.Config
+	for _, mk := range []func() capture.Config{core.Moorhen, core.Flamingo} {
+		stock := bigBuffers(single(mk()))
+		mm := stock
+		mm.Name += "-mmap"
+		mm.MmapPatch = true
+		cfgs = append(cfgs, stock, mm)
+	}
+	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	return core.FormatTable("FreeBSD stock vs memory-mapped read (single CPU)", series)
+}
+
+// runWorkers runs the heavy zlib-3 analysis load inline vs on two worker
+// threads — the [DV04] approach of spreading analysis across processors.
+func runWorkers(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# zlib-3 analysis: inline reader vs 2 worker threads, dual CPU")
+	fmt.Fprintln(&out, "# rate\tsystem\tinline%\tworkers%")
+	for _, r := range o.Rates {
+		for _, mk := range []func() capture.Config{core.Swan, core.Moorhen} {
+			base := bigBuffers(dual(mk()))
+			base.Load.ZlibLevel = 3
+			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+			inline := core.RunOnce(base, w)
+			mt := base
+			mt.Load.Workers = 2
+			threaded := core.RunOnce(mt, w)
+			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\n",
+				r, base.Name, inline.CaptureRate(), threaded.CaptureRate())
+		}
+	}
+	return out.String()
+}
+
+// run10GbE scales the link to 10 Gbit/s (and assumes a modern generator
+// host): "the most commonly interest would be the evaluation of 10 Gigabit
+// Ethernet" (§7.2). The 2005 systems drown — the question is how fast.
+func run10GbE(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# 10GbE outlook: capture rate at multi-gigabit rates, dual CPU, big buffers")
+	fmt.Fprintln(&out, "# rate-Mbit\tsystem\trate%\tcpu%")
+	for _, r := range []float64{1000, 2000, 4000, 8000} {
+		for _, base := range systems(bigBuffers, dual) {
+			cfg := base
+			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+			sys := capture.NewSystem(core.Prepare(cfg, w))
+			g := w.Generator()
+			g.Config.LineRate = 10e9
+			g.Config.PerPacketCostNS = 120 // a generator host of the 10GbE era
+			st := sys.Run(g)
+			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\n", r, cfg.Name, st.CaptureRate(), st.CPUUsage())
+		}
+	}
+	return out.String()
+}
+
+// runAblHousekeeping removes the periodic OS housekeeping stalls: the
+// default-buffer drop onset (Figure 6.2) should move far to the right,
+// demonstrating which mechanism produces it in the model.
+func runAblHousekeeping(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# swan, default buffers, single CPU: with vs without housekeeping stalls")
+	fmt.Fprintln(&out, "# rate\twith%\twithout%")
+	for _, r := range o.Rates {
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+		withHK := core.RunOnce(single(core.Swan()), w)
+		cfg := single(core.Swan())
+		cfg.Costs = capture.DefaultCosts()
+		cfg.Costs.HousekeepNS = 0
+		noHK := core.RunOnce(cfg, w)
+		fmt.Fprintf(&out, "%.0f\t%6.2f\t%6.2f\n", r, withHK.CaptureRate(), noHK.CaptureRate())
+	}
+	return out.String()
+}
+
+// runAblContention disables the Xeon's shared-FSB contention: under
+// memcpy load the dual-CPU Xeon systems should visibly improve,
+// quantifying what the §2.4 architecture difference costs.
+func runAblContention(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# snipe + flamingo, memcpy-50, dual CPU: FSB contention on vs off")
+	fmt.Fprintln(&out, "# rate\tsystem\tcontended%\tuncontended%")
+	for _, r := range o.Rates {
+		for _, mk := range []func() capture.Config{core.Snipe, core.Flamingo} {
+			base := memcpy(50)(dual(mk()))
+			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+			on := core.RunOnce(base, w)
+			off := base
+			off.Arch.MemContention = 1.0
+			offSt := core.RunOnce(off, w)
+			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\n",
+				r, base.Name, on.CaptureRate(), offSt.CaptureRate())
+		}
+	}
+	return out.String()
+}
+
+// runProduction models the systems' day job (§2.3/§4.1.4): capturing the
+// MWN uplink around the clock with an NIDS-like consumer — the Figure 6.5
+// filter, per-flow accounting, and 76-byte header traces to disk — while
+// the offered rate follows the documented diurnal curve (220 Mbit/s at
+// night to 1200 Mbit/s at the afternoon peak, clamped to the GigE
+// monitoring link).
+func runProduction(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# production day: NIDS filter + flow tracking + header traces, dual CPU, big buffers")
+	fmt.Fprintln(&out, "# hour\trate-Mbit\tswan%\tsnipe%\tmoorhen%\tflamingo%")
+	for hour := 0.0; hour < 24; hour += 3 {
+		rate := trace.DiurnalRate(hour)
+		if rate > 1000e6 {
+			rate = 1000e6 // the monitoring port is a single GigE fiber
+		}
+		fmt.Fprintf(&out, "%02.0f\t%.0f", hour, rate/1e6)
+		for _, base := range systems(bigBuffers, dual) {
+			cfg := base
+			cfg.Filter = filter.MustCompile(filter.ReferenceFilterExpr, 1515)
+			cfg.Load.FlowTrack = true
+			cfg.Load.WriteSnapLen = 76
+			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: rate}
+			st := core.RunOnce(cfg, w)
+			fmt.Fprintf(&out, "\t%6.2f", st.CaptureRate())
+		}
+		fmt.Fprintln(&out)
+	}
+	return out.String()
+}
+
+// runModeration quantifies the §2.2.1 trade-off: interrupt moderation
+// lowers the interrupt CPU share but degrades packet timestamps — "the
+// timestamps of most packets and along with this the inter-packet gaps are
+// not correct", with whole batches sharing one stamp.
+func runModeration(o Options) string {
+	o = o.withDefaults()
+	var out strings.Builder
+	fmt.Fprintln(&out, "# interrupt moderation on moorhen at 700 Mbit/s, dual CPU")
+	fmt.Fprintln(&out, "# delay-us\trate%\tintr-cpu%\tts-err-mean-us\tts-ties%")
+	for _, delayUS := range []float64{0, 20, 50, 100, 250} {
+		cfg := bigBuffers(dual(core.Moorhen()))
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 700e6}
+		prepared := core.Prepare(cfg, w)
+		prepared.Costs.ModerationDelayNS = delayUS * 1e3
+		sys := capture.NewSystem(prepared)
+		st := sys.Run(w.Generator())
+		intrPct := 0.0
+		if st.WallTime > 0 {
+			intrPct = float64(st.BusyByCls[0]) / float64(st.WallTime) / float64(st.CPUCount) * 100
+		}
+		ties := 0.0
+		if st.Stamped > 0 {
+			ties = float64(st.TsTies) / float64(st.Stamped) * 100
+		}
+		fmt.Fprintf(&out, "%.0f\t%6.2f\t%6.2f\t%8.2f\t%6.2f\n",
+			delayUS, st.CaptureRate(), intrPct, st.TsErrMeanUS(), ties)
+	}
+	return out.String()
+}

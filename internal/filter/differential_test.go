@@ -1,0 +1,228 @@
+package filter
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"repro/internal/pkt"
+)
+
+// differential_test cross-checks the compiler against independently
+// written semantics: random boolean combinations of primitives are built
+// together with a direct evaluator, compiled to BPF, and compared over a
+// corpus of packets. Any divergence is a compiler or VM bug.
+
+// prim is a primitive with its ground-truth semantics.
+type prim struct {
+	expr string
+	eval func(s pkt.Summary, frame []byte) bool
+}
+
+func primitives() []prim {
+	isIP := func(s pkt.Summary) bool { return s.IsIPv4 }
+	return []prim{
+		{"ip", func(s pkt.Summary, _ []byte) bool { return isIP(s) }},
+		{"arp", func(s pkt.Summary, _ []byte) bool { return s.Ethernet.EtherType == pkt.EtherTypeARP }},
+		{"udp", func(s pkt.Summary, _ []byte) bool { return isIP(s) && s.IPv4.Protocol == pkt.ProtoUDP }},
+		{"tcp", func(s pkt.Summary, _ []byte) bool { return isIP(s) && s.IPv4.Protocol == pkt.ProtoTCP }},
+		{"icmp", func(s pkt.Summary, _ []byte) bool { return isIP(s) && s.IPv4.Protocol == pkt.ProtoICMP }},
+		{"ip src 192.168.10.100", func(s pkt.Summary, _ []byte) bool {
+			return isIP(s) && s.IPv4.Src == netip.MustParseAddr("192.168.10.100")
+		}},
+		{"ip dst 192.168.10.12", func(s pkt.Summary, _ []byte) bool {
+			return isIP(s) && s.IPv4.Dst == netip.MustParseAddr("192.168.10.12")
+		}},
+		{"ip host 10.0.0.1", func(s pkt.Summary, _ []byte) bool {
+			a := netip.MustParseAddr("10.0.0.1")
+			return isIP(s) && (s.IPv4.Src == a || s.IPv4.Dst == a)
+		}},
+		{"net 192.168.0.0/16", func(s pkt.Summary, _ []byte) bool {
+			in := func(a netip.Addr) bool {
+				b := a.As4()
+				return b[0] == 192 && b[1] == 168
+			}
+			return isIP(s) && (in(s.IPv4.Src) || in(s.IPv4.Dst))
+		}},
+		{"src net 10.0.0.0/8", func(s pkt.Summary, _ []byte) bool {
+			return isIP(s) && s.IPv4.Src.As4()[0] == 10
+		}},
+		{"port 9", func(s pkt.Summary, _ []byte) bool { return portMatch(s, 9, true, true) }},
+		{"src port 9", func(s pkt.Summary, _ []byte) bool { return portMatch(s, 9, true, false) }},
+		{"dst port 4242", func(s pkt.Summary, _ []byte) bool { return portMatch(s, 4242, false, true) }},
+		{"len > 300", func(s pkt.Summary, frame []byte) bool { return len(frame) > 300 }},
+		{"greater 100", func(s pkt.Summary, frame []byte) bool { return len(frame) >= 100 }},
+		{"less 200", func(s pkt.Summary, frame []byte) bool { return len(frame) <= 200 }},
+		{"ether[12:2] = 0x800", func(s pkt.Summary, _ []byte) bool {
+			return s.Ethernet.EtherType == 0x800
+		}},
+		{"ether src 00:00:00:00:00:01", func(s pkt.Summary, _ []byte) bool {
+			return s.Ethernet.Src == pkt.MAC{0, 0, 0, 0, 0, 1}
+		}},
+		{"ip[9] = 17", func(s pkt.Summary, _ []byte) bool {
+			return isIP(s) && s.IPv4.Protocol == 17
+		}},
+		{"ip[8] > 32", func(s pkt.Summary, _ []byte) bool {
+			return isIP(s) && s.IPv4.TTL > 32
+		}},
+	}
+}
+
+func portMatch(s pkt.Summary, port uint16, src, dst bool) bool {
+	if !s.IsIPv4 || s.IPv4.FragOffset != 0 {
+		return false
+	}
+	var sp, dp uint16
+	switch {
+	case s.IsUDP:
+		sp, dp = s.UDP.SrcPort, s.UDP.DstPort
+	case s.IsTCP:
+		sp, dp = s.TCP.SrcPort, s.TCP.DstPort
+	default:
+		return false
+	}
+	return (src && sp == port) || (dst && dp == port)
+}
+
+// expr is a generated expression with its evaluator.
+type expr struct {
+	text string
+	eval func(s pkt.Summary, frame []byte) bool
+}
+
+// genExpr builds a random expression of bounded depth from a seed-driven
+// PRNG; expression structure and evaluation stay in lockstep.
+func genExpr(next func(int) int, depth int) expr {
+	prims := primitives()
+	if depth <= 0 || next(3) == 0 {
+		p := prims[next(len(prims))]
+		return expr{p.expr, p.eval}
+	}
+	switch next(3) {
+	case 0:
+		a := genExpr(next, depth-1)
+		b := genExpr(next, depth-1)
+		return expr{
+			"(" + a.text + " and " + b.text + ")",
+			func(s pkt.Summary, f []byte) bool { return a.eval(s, f) && b.eval(s, f) },
+		}
+	case 1:
+		a := genExpr(next, depth-1)
+		b := genExpr(next, depth-1)
+		return expr{
+			"(" + a.text + " or " + b.text + ")",
+			func(s pkt.Summary, f []byte) bool { return a.eval(s, f) || b.eval(s, f) },
+		}
+	default:
+		a := genExpr(next, depth-1)
+		return expr{
+			"not " + a.text,
+			func(s pkt.Summary, f []byte) bool { return !a.eval(s, f) },
+		}
+	}
+}
+
+// corpus returns a diverse set of frames (all ≥54 bytes so every primitive
+// offset is in range — classic BPF rejects on out-of-bounds loads, which
+// direct semantics do not model).
+func corpus(t *testing.T) [][]byte {
+	t.Helper()
+	var out [][]byte
+	// UDP frames: the generator's defaults, varying size and MAC.
+	for _, size := range []int{60, 100, 150, 250, 400, 1514} {
+		for mac := byte(0); mac <= 2; mac++ {
+			out = append(out, pkt.BuildUDP(nil, pkt.UDPSpec{
+				SrcMAC:  pkt.MAC{0, 0, 0, 0, 0, mac},
+				SrcIP:   netip.MustParseAddr("192.168.10.100"),
+				DstIP:   netip.MustParseAddr("192.168.10.12"),
+				SrcPort: 9, DstPort: 9,
+				FrameLen: size,
+			}))
+		}
+	}
+	// A UDP frame from/to other addresses and ports.
+	out = append(out, pkt.BuildUDP(nil, pkt.UDPSpec{
+		SrcIP: netip.MustParseAddr("10.1.2.3"), DstIP: netip.MustParseAddr("10.0.0.1"),
+		SrcPort: 1000, DstPort: 4242, FrameLen: 120,
+	}))
+	// TCP frames.
+	for _, ports := range [][2]uint16{{9, 80}, {4242, 9}, {80, 4242}} {
+		b := make([]byte, 120)
+		src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("192.168.99.7")
+		pkt.EncodeEthernet(b, pkt.Ethernet{Src: pkt.MAC{0, 0, 0, 0, 0, 1}, EtherType: pkt.EtherTypeIPv4})
+		pkt.EncodeIPv4(b[14:], pkt.IPv4{Length: uint16(len(b) - 14), TTL: 64, Protocol: pkt.ProtoTCP, Src: src, Dst: dst})
+		pkt.EncodeTCP(b[34:], pkt.TCP{SrcPort: ports[0], DstPort: ports[1]}, src, dst, nil, true)
+		out = append(out, b)
+	}
+	// A fragment (port primitives must skip it).
+	frag := pkt.BuildUDP(nil, pkt.UDPSpec{
+		SrcIP: netip.MustParseAddr("192.168.10.100"), DstIP: netip.MustParseAddr("192.168.10.12"),
+		SrcPort: 9, DstPort: 9, FrameLen: 100,
+	})
+	pkt.EncodeIPv4(frag[14:], pkt.IPv4{Length: 86, TTL: 32, Protocol: pkt.ProtoUDP,
+		Src: netip.MustParseAddr("192.168.10.100"), Dst: netip.MustParseAddr("192.168.10.12"),
+		FragOffset: 64})
+	out = append(out, frag)
+	// ICMP.
+	icmp := make([]byte, 64)
+	pkt.EncodeEthernet(icmp, pkt.Ethernet{EtherType: pkt.EtherTypeIPv4})
+	pkt.EncodeIPv4(icmp[14:], pkt.IPv4{Length: 50, TTL: 64, Protocol: pkt.ProtoICMP,
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.0.0.2")})
+	out = append(out, icmp)
+	// ARP.
+	arp := make([]byte, 60)
+	pkt.EncodeEthernet(arp, pkt.Ethernet{Src: pkt.MAC{0, 0, 0, 0, 0, 1}, EtherType: pkt.EtherTypeARP})
+	out = append(out, arp)
+	return out
+}
+
+// TestCompilerDifferential compiles hundreds of random expressions and
+// checks every packet decision against the direct evaluation.
+func TestCompilerDifferential(t *testing.T) {
+	frames := corpus(t)
+	for seed := int64(0); seed < 500; seed++ {
+		s := uint64(seed)*2654435761 + 1
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		e := genExpr(next, 3)
+		prog, err := Compile(e.text, 65535)
+		if err != nil {
+			t.Fatalf("seed %d: Compile(%q): %v", seed, e.text, err)
+		}
+		for fi, frame := range frames {
+			sum, err := pkt.Parse(frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := e.eval(sum, frame)
+			res, err := prog.Run(frame)
+			if err != nil {
+				t.Fatalf("seed %d frame %d: Run: %v", seed, fi, err)
+			}
+			got := res.Accept != 0
+			if got != want {
+				t.Fatalf("seed %d: %q on frame %d (%d bytes): compiled=%v direct=%v\nprogram:\n%s",
+					seed, e.text, fi, len(frame), got, want, prog)
+			}
+		}
+	}
+}
+
+// TestCompilerDifferentialDeterministic pins that the generator above is
+// reproducible, so failures are reportable by seed.
+func TestCompilerDifferentialDeterministic(t *testing.T) {
+	mk := func() string {
+		s := uint64(7)*2654435761 + 1
+		next := func(n int) int {
+			s = s*6364136223846793005 + 1442695040888963407
+			return int((s >> 33) % uint64(n))
+		}
+		return genExpr(next, 3).text
+	}
+	if mk() != mk() {
+		t.Fatal("expression generation not deterministic")
+	}
+	_ = fmt.Sprintf // keep fmt for failure formatting above
+}

@@ -1,0 +1,342 @@
+package filter
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+)
+
+func genFrame(t testing.TB, frameLen int, srcMACLastByte byte) []byte {
+	if t != nil {
+		t.Helper()
+	}
+	return pkt.BuildUDP(nil, pkt.UDPSpec{
+		SrcMAC:  pkt.MAC{0, 0, 0, 0, 0, srcMACLastByte},
+		DstMAC:  pkt.MAC{0x00, 0x0e, 0x0c, 0x01, 0x02, 0x03},
+		SrcIP:   netip.MustParseAddr("192.168.10.100"),
+		DstIP:   netip.MustParseAddr("192.168.10.12"),
+		SrcPort: 9, DstPort: 9,
+		FrameLen: frameLen,
+	})
+}
+
+func tcpFrame(src, dst string, srcPort, dstPort uint16) []byte {
+	b := make([]byte, 54)
+	pkt.EncodeEthernet(b, pkt.Ethernet{EtherType: pkt.EtherTypeIPv4})
+	s, d := netip.MustParseAddr(src), netip.MustParseAddr(dst)
+	pkt.EncodeIPv4(b[14:], pkt.IPv4{Length: 40, TTL: 64, Protocol: pkt.ProtoTCP, Src: s, Dst: d})
+	pkt.EncodeTCP(b[34:], pkt.TCP{SrcPort: srcPort, DstPort: dstPort, Flags: pkt.TCPFlagACK}, s, d, nil, true)
+	return b
+}
+
+func mustAccept(t *testing.T, expr string, frame []byte) {
+	t.Helper()
+	prog := MustCompile(expr, 65535)
+	res, err := prog.Run(frame)
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	if res.Accept == 0 {
+		t.Fatalf("%q rejected frame, want accept\nprogram:\n%s", expr, prog)
+	}
+}
+
+func mustReject(t *testing.T, expr string, frame []byte) {
+	t.Helper()
+	prog := MustCompile(expr, 65535)
+	res, err := prog.Run(frame)
+	if err != nil {
+		t.Fatalf("%q: %v", expr, err)
+	}
+	if res.Accept != 0 {
+		t.Fatalf("%q accepted frame, want reject\nprogram:\n%s", expr, prog)
+	}
+}
+
+func TestPrimitives(t *testing.T) {
+	udp := genFrame(t, 200, 0)
+	tcp := tcpFrame("10.0.0.1", "10.0.0.2", 80, 4242)
+	arp := make([]byte, 60)
+	pkt.EncodeEthernet(arp, pkt.Ethernet{EtherType: pkt.EtherTypeARP})
+
+	mustAccept(t, "ip", udp)
+	mustAccept(t, "ip", tcp)
+	mustReject(t, "ip", arp)
+	mustAccept(t, "arp", arp)
+	mustAccept(t, "udp", udp)
+	mustReject(t, "udp", tcp)
+	mustAccept(t, "tcp", tcp)
+	mustReject(t, "tcp", udp)
+	mustReject(t, "tcp", arp)
+	mustAccept(t, "not tcp", udp)
+	mustAccept(t, "not tcp", arp) // non-IP is vacuously not tcp
+	mustReject(t, "not tcp", tcp)
+	mustAccept(t, "ip proto 17", udp)
+	mustReject(t, "ip proto 17", tcp)
+}
+
+func TestHostAndDirection(t *testing.T) {
+	tcp := tcpFrame("10.0.0.1", "10.0.0.2", 80, 4242)
+	mustAccept(t, "ip src 10.0.0.1", tcp)
+	mustReject(t, "ip src 10.0.0.2", tcp)
+	mustAccept(t, "ip dst 10.0.0.2", tcp)
+	mustReject(t, "ip dst 10.0.0.1", tcp)
+	mustAccept(t, "ip host 10.0.0.1", tcp)
+	mustAccept(t, "ip host 10.0.0.2", tcp)
+	mustReject(t, "ip host 10.0.0.3", tcp)
+	mustAccept(t, "host 10.0.0.1", tcp)
+	mustAccept(t, "src host 10.0.0.1", tcp)
+	mustReject(t, "dst host 10.0.0.1", tcp)
+}
+
+func TestPorts(t *testing.T) {
+	udp := genFrame(t, 100, 0) // ports 9/9
+	tcp := tcpFrame("10.0.0.1", "10.0.0.2", 80, 4242)
+	mustAccept(t, "port 9", udp)
+	mustReject(t, "port 10", udp)
+	mustAccept(t, "src port 80", tcp)
+	mustReject(t, "dst port 80", tcp)
+	mustAccept(t, "dst port 4242", tcp)
+	mustAccept(t, "port 80", tcp)
+	mustAccept(t, "port 4242", tcp)
+	mustReject(t, "not port 9", udp)
+	mustAccept(t, "not port 10", udp)
+}
+
+func TestPortSkipsFragments(t *testing.T) {
+	frag := genFrame(t, 100, 0)
+	// Set a nonzero fragment offset and fix the IP checksum.
+	s := netip.MustParseAddr("192.168.10.100")
+	d := netip.MustParseAddr("192.168.10.12")
+	pkt.EncodeIPv4(frag[14:], pkt.IPv4{
+		Length: uint16(len(frag) - 14), TTL: 32, Protocol: pkt.ProtoUDP,
+		Src: s, Dst: d, FragOffset: 100,
+	})
+	mustReject(t, "port 9", frag)
+}
+
+func TestEtherIndex(t *testing.T) {
+	f := genFrame(t, 100, 2)
+	mustAccept(t, "ether[6:4]=0x00000000", f)
+	mustAccept(t, "ether[10]=0x00", f)
+	mustAccept(t, "ether[11]=0x02", f)
+	mustReject(t, "ether[11]=0x01", f)
+	mustAccept(t, "ether[12:2]=0x800", f)
+	mustAccept(t, "ether[0] & 0x01 = 0", f) // not multicast
+	mustReject(t, "ether[0] & 0x01 != 0", f)
+}
+
+func TestIPIndexAndLen(t *testing.T) {
+	f := genFrame(t, 200, 0)
+	mustAccept(t, "ip[9] = 17", f)    // protocol field
+	mustAccept(t, "ip[2:2] = 186", f) // total length 200-14
+	mustAccept(t, "len = 200", f)
+	mustAccept(t, "len >= 200", f)
+	mustAccept(t, "len <= 200", f)
+	mustReject(t, "len > 200", f)
+	mustReject(t, "len < 200", f)
+	mustAccept(t, "len != 100", f)
+}
+
+func TestBooleanStructure(t *testing.T) {
+	udp := genFrame(t, 100, 0)
+	tcp := tcpFrame("10.0.0.1", "10.0.0.2", 80, 4242)
+	mustAccept(t, "udp or tcp", udp)
+	mustAccept(t, "udp or tcp", tcp)
+	mustReject(t, "udp and tcp", udp)
+	mustAccept(t, "not (udp and tcp)", udp)
+	mustAccept(t, "(udp or tcp) and ip host 10.0.0.1", tcp)
+	mustReject(t, "(udp or tcp) and ip host 99.0.0.1", tcp)
+	mustAccept(t, "udp && !tcp", udp)
+	mustAccept(t, "tcp || arp", tcp)
+}
+
+func TestEmptyFilterAcceptsAll(t *testing.T) {
+	prog := MustCompile("", 96)
+	res, err := prog.Run(genFrame(t, 100, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 96 {
+		t.Fatalf("accept = %d, want snaplen 96", res.Accept)
+	}
+	if len(prog) != 1 {
+		t.Fatalf("program length = %d, want 1", len(prog))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"bogus",
+		"ip src",
+		"ip src 1.2.3",
+		"port",
+		"ether[]=1",
+		"ether[4:3]=1",
+		"len ~ 4",
+		"(udp",
+		"udp)",
+		"udp and",
+		"ip src 300.1.2.3",
+	}
+	for _, expr := range bad {
+		if _, err := Compile(expr, 0); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", expr)
+		}
+	}
+}
+
+// TestReferenceFilterInstructionCount pins the headline property from the
+// thesis: the Figure 6.5 filter compiles to exactly 50 BPF instructions.
+func TestReferenceFilterInstructionCount(t *testing.T) {
+	prog, err := Compile(ReferenceFilterExpr, 1515)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 50 {
+		t.Fatalf("reference filter compiled to %d instructions, want 50\n%s", len(prog), prog)
+	}
+}
+
+// TestReferenceFilterAcceptsGeneratedTraffic pins the second property: the
+// filter accepts every generated packet, and only after evaluating the
+// whole program (all instructions except the final reject).
+func TestReferenceFilterAcceptsGeneratedTraffic(t *testing.T) {
+	prog := MustCompile(ReferenceFilterExpr, 1515)
+	for mac := byte(0); mac <= 2; mac++ {
+		for _, size := range []int{46, 100, 576, 1514} {
+			f := genFrame(t, size, mac)
+			res, err := prog.Run(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Accept == 0 {
+				t.Fatalf("reference filter rejected generated frame (mac %d, size %d)", mac, size)
+			}
+			if res.Instructions != len(prog)-1 {
+				t.Fatalf("executed %d instructions, want %d (all but the reject)",
+					res.Instructions, len(prog)-1)
+			}
+		}
+	}
+}
+
+func TestReferenceFilterRejectsListedAddresses(t *testing.T) {
+	prog := MustCompile(ReferenceFilterExpr, 1515)
+	rejects := [][2]string{
+		{"10.11.12.13", "1.1.1.1"},
+		{"190.11.12.31", "1.1.1.1"},
+		{"1.1.1.1", "10.99.12.13"},
+		{"1.1.1.1", "190.99.12.31"},
+	}
+	for _, r := range rejects {
+		f := pkt.BuildUDP(nil, pkt.UDPSpec{
+			SrcIP: netip.MustParseAddr(r[0]), DstIP: netip.MustParseAddr(r[1]),
+			FrameLen: 100,
+		})
+		res, err := prog.Run(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accept != 0 {
+			t.Fatalf("filter accepted src %s dst %s, want reject", r[0], r[1])
+		}
+	}
+	// TCP packets are rejected by the "not tcp" conjunct.
+	res, err := prog.Run(tcpFrame("1.1.1.1", "2.2.2.2", 1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accept != 0 {
+		t.Fatal("filter accepted a TCP packet")
+	}
+}
+
+// Property: De Morgan — "not (A and B)" and "(not A) or (not B)" accept the
+// same packets for primitive A, B over arbitrary generated frames.
+func TestDeMorganProperty(t *testing.T) {
+	p1 := MustCompile("not (udp and ip host 192.168.10.12)", 65535)
+	p2 := MustCompile("(not udp) or (not ip host 192.168.10.12)", 65535)
+	f := func(size uint16, mac byte, useTCP bool) bool {
+		var frame []byte
+		if useTCP {
+			frame = tcpFrame("192.168.10.12", "10.0.0.1", 80, 81)
+		} else {
+			frame = genFrame(nil, 46+int(size)%1400, mac)
+		}
+		r1, err1 := p1.Run(frame)
+		r2, err2 := p2.Run(frame)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return (r1.Accept == 0) == (r2.Accept == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a filter and its negation partition all packets.
+func TestNegationPartitionProperty(t *testing.T) {
+	exprs := []string{"udp", "tcp", "ip host 192.168.10.12", "len > 500", "port 9"}
+	for _, e := range exprs {
+		p := MustCompile(e, 65535)
+		np := MustCompile("not ("+e+")", 65535)
+		f := func(size uint16, mac byte) bool {
+			frame := genFrame(nil, 46+int(size)%1400, mac)
+			r1, _ := p.Run(frame)
+			r2, _ := np.Run(frame)
+			return (r1.Accept == 0) != (r2.Accept == 0)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+	}
+}
+
+func TestNetPrimitives(t *testing.T) {
+	tcp := tcpFrame("10.1.2.3", "192.168.10.12", 80, 81)
+	mustAccept(t, "net 10.0.0.0/8", tcp)
+	mustAccept(t, "src net 10.0.0.0/8", tcp)
+	mustReject(t, "dst net 10.0.0.0/8", tcp)
+	mustAccept(t, "dst net 192.168.10.0/24", tcp)
+	mustAccept(t, "net 10.0.0.0 mask 255.0.0.0", tcp)
+	mustReject(t, "net 11.0.0.0/8", tcp)
+	mustAccept(t, "net 0.0.0.0/0", tcp) // matches any IP
+	arp := make([]byte, 60)
+	pkt.EncodeEthernet(arp, pkt.Ethernet{EtherType: pkt.EtherTypeARP})
+	mustReject(t, "net 0.0.0.0/0", arp) // but not non-IP
+	if _, err := Compile("net 10.0.0.0/33", 0); err == nil {
+		t.Fatal("prefix 33 accepted")
+	}
+}
+
+func TestGreaterLess(t *testing.T) {
+	f := genFrame(t, 500, 0)
+	mustAccept(t, "greater 500", f)
+	mustAccept(t, "greater 100", f)
+	mustReject(t, "greater 501", f)
+	mustAccept(t, "less 500", f)
+	mustReject(t, "less 499", f)
+}
+
+func TestEtherAddr(t *testing.T) {
+	f := genFrame(t, 100, 2) // src MAC 00:00:00:00:00:02
+	mustAccept(t, "ether src 00:00:00:00:00:02", f)
+	mustReject(t, "ether src 00:00:00:00:00:01", f)
+	mustAccept(t, "ether dst 00:0e:0c:01:02:03", f)
+	mustReject(t, "ether dst 00:0e:0c:01:02:04", f)
+	mustAccept(t, "ether src 00:00:00:00:00:02 and udp", f)
+	// Mixed-hex bytes must lex correctly.
+	b := genFrame(t, 100, 0)
+	copy(b[0:6], []byte{0x4a, 0xde, 0xad, 0xbe, 0xef, 0x99})
+	mustAccept(t, "ether dst 4a:de:ad:be:ef:99", b)
+	if _, err := Compile("ether src 00:00:00", 0); err == nil {
+		t.Fatal("truncated MAC accepted")
+	}
+	if _, err := Compile("ether src zz:00:00:00:00:00", 0); err == nil {
+		t.Fatal("bad MAC byte accepted")
+	}
+}

@@ -1,0 +1,33 @@
+package filter
+
+// ReferenceFilterExpr is the measurement filter of thesis Figure 6.5. It is
+// constructed so that every generated packet is accepted, but only after
+// every comparison has been evaluated; compiled (with tcpdump's standard
+// optimizations) it is 50 BPF instructions long, the number the thesis
+// quotes.
+//
+// The thesis listing contains the literal address "990.99.12.23", which is
+// not a valid IPv4 address (an artifact of the original document); this
+// constant uses 110.99.12.23, which keeps the address count, the
+// instruction count and the all-packets-accepted property intact.
+const ReferenceFilterExpr = "ether[6:4]=0x00000000 and ether[10]=0x00 and not tcp" +
+	" and not ip src 10.11.12.13 and not ip src 20.11.12.14" +
+	" and not ip src 30.11.12.15 and not ip src 40.11.12.16" +
+	" and not ip src 50.11.12.17 and not ip src 60.11.12.18" +
+	" and not ip src 70.11.12.19 and not ip src 80.11.12.20" +
+	" and not ip src 90.11.12.21 and not ip src 100.11.12.22" +
+	" and not ip src 110.11.12.23 and not ip src 120.11.12.24" +
+	" and not ip src 130.11.12.25 and not ip src 140.11.12.26" +
+	" and not ip src 150.11.12.27 and not ip src 160.11.12.28" +
+	" and not ip src 170.11.12.29 and not ip src 180.11.12.30" +
+	" and not ip src 190.11.12.31" +
+	" and not ip dst 10.99.12.13 and not ip dst 20.99.12.14" +
+	" and not ip dst 30.99.12.15 and not ip dst 40.99.12.16" +
+	" and not ip dst 50.99.12.17 and not ip dst 60.99.12.18" +
+	" and not ip dst 70.99.12.19 and not ip dst 80.99.12.20" +
+	" and not ip dst 90.99.12.21 and not ip dst 100.99.12.22" +
+	" and not ip dst 110.99.12.23 and not ip dst 120.99.12.24" +
+	" and not ip dst 130.99.12.25 and not ip dst 140.99.12.26" +
+	" and not ip dst 150.99.12.27 and not ip dst 160.99.12.28" +
+	" and not ip dst 170.99.12.29 and not ip dst 180.99.12.30" +
+	" and not ip dst 190.99.12.31"

@@ -1,0 +1,138 @@
+package flows
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/pkt"
+)
+
+func udpFrame(src, dst string, sp, dp uint16, size int) []byte {
+	return pkt.BuildUDP(nil, pkt.UDPSpec{
+		SrcIP: netip.MustParseAddr(src), DstIP: netip.MustParseAddr(dst),
+		SrcPort: sp, DstPort: dp, FrameLen: size,
+	})
+}
+
+func tcpFrame(src, dst string, sp, dp uint16, flags uint8) []byte {
+	b := make([]byte, 60)
+	s, d := netip.MustParseAddr(src), netip.MustParseAddr(dst)
+	pkt.EncodeEthernet(b, pkt.Ethernet{EtherType: pkt.EtherTypeIPv4})
+	pkt.EncodeIPv4(b[14:], pkt.IPv4{Length: 46, TTL: 64, Protocol: pkt.ProtoTCP, Src: s, Dst: d})
+	pkt.EncodeTCP(b[34:], pkt.TCP{SrcPort: sp, DstPort: dp, Flags: flags}, s, d, nil, true)
+	return b
+}
+
+func TestObserveAggregates(t *testing.T) {
+	tb := New(false)
+	ts := time.Unix(1000, 0)
+	for i := 0; i < 5; i++ {
+		tb.Observe(ts.Add(time.Duration(i)*time.Millisecond), udpFrame("10.0.0.1", "10.0.0.2", 1000, 53, 100))
+	}
+	tb.Observe(ts, udpFrame("10.0.0.1", "10.0.0.3", 1000, 53, 100))
+	if tb.Len() != 2 {
+		t.Fatalf("flows = %d, want 2", tb.Len())
+	}
+	top := tb.Top(1)
+	if top[0].Stat.Packets != 5 {
+		t.Fatalf("top flow packets = %d", top[0].Stat.Packets)
+	}
+	if top[0].Stat.Bytes != 5*86 { // IP length of a 100-byte frame
+		t.Fatalf("top flow bytes = %d", top[0].Stat.Bytes)
+	}
+	if dur := top[0].Stat.Last.Sub(top[0].Stat.First); dur != 4*time.Millisecond {
+		t.Fatalf("duration = %v", dur)
+	}
+}
+
+func TestBidirectionalFolding(t *testing.T) {
+	uni := New(false)
+	bi := New(true)
+	a := udpFrame("10.0.0.1", "10.0.0.2", 1000, 53, 100)
+	b := udpFrame("10.0.0.2", "10.0.0.1", 53, 1000, 100)
+	for _, tbl := range []*Table{uni, bi} {
+		tbl.Observe(time.Unix(0, 0), a)
+		tbl.Observe(time.Unix(1, 0), b)
+	}
+	if uni.Len() != 2 {
+		t.Fatalf("unidirectional = %d flows, want 2", uni.Len())
+	}
+	if bi.Len() != 1 {
+		t.Fatalf("bidirectional = %d flows, want 1", bi.Len())
+	}
+	if bi.Top(1)[0].Stat.Packets != 2 {
+		t.Fatal("bidirectional flow did not merge both directions")
+	}
+}
+
+func TestTCPHandshakeMarkers(t *testing.T) {
+	tb := New(true)
+	tb.Observe(time.Unix(0, 0), tcpFrame("10.0.0.1", "10.0.0.2", 1234, 80, pkt.TCPFlagSYN))
+	tb.Observe(time.Unix(1, 0), tcpFrame("10.0.0.2", "10.0.0.1", 80, 1234, pkt.TCPFlagSYN|pkt.TCPFlagACK))
+	tb.Observe(time.Unix(2, 0), tcpFrame("10.0.0.1", "10.0.0.2", 1234, 80, pkt.TCPFlagFIN|pkt.TCPFlagACK))
+	if tb.Len() != 1 {
+		t.Fatalf("flows = %d", tb.Len())
+	}
+	st := tb.Top(1)[0].Stat
+	if st.SYNs != 2 || st.FINs != 1 {
+		t.Fatalf("handshake markers = %+v", st)
+	}
+}
+
+func TestNonIPSkipped(t *testing.T) {
+	tb := New(false)
+	arp := make([]byte, 60)
+	pkt.EncodeEthernet(arp, pkt.Ethernet{EtherType: pkt.EtherTypeARP})
+	tb.Observe(time.Unix(0, 0), arp)
+	if tb.Len() != 0 || tb.NonIP != 1 || tb.Observed != 1 {
+		t.Fatalf("table = %+v", tb)
+	}
+}
+
+func TestReportFormat(t *testing.T) {
+	tb := New(false)
+	tb.Observe(time.Unix(0, 0), udpFrame("10.0.0.1", "10.0.0.2", 9, 9, 100))
+	rep := tb.Report(10)
+	for _, want := range []string{"1 flows", "udp 10.0.0.1:9 <-> 10.0.0.2:9", "# packets"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// Property: canonical is idempotent and direction-insensitive.
+func TestCanonicalProperty(t *testing.T) {
+	f := func(a, b [4]byte, sp, dp uint16, proto uint8) bool {
+		k := Key{
+			SrcIP: netip.AddrFrom4(a), DstIP: netip.AddrFrom4(b),
+			SrcPort: sp, DstPort: dp, Proto: proto,
+		}
+		rev := Key{
+			SrcIP: k.DstIP, DstIP: k.SrcIP,
+			SrcPort: k.DstPort, DstPort: k.SrcPort, Proto: proto,
+		}
+		c1, c2 := canonical(k), canonical(rev)
+		return c1 == c2 && canonical(c1) == c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopOrderingDeterministic(t *testing.T) {
+	tb := New(false)
+	// Two flows with identical byte/packet counts: order must be stable.
+	tb.Observe(time.Unix(0, 0), udpFrame("10.0.0.1", "10.0.0.2", 1, 2, 100))
+	tb.Observe(time.Unix(0, 0), udpFrame("10.0.0.3", "10.0.0.4", 3, 4, 100))
+	a := tb.Report(0)
+	b := tb.Report(0)
+	if a != b {
+		t.Fatal("report not deterministic")
+	}
+	if tb.Top(1)[0].Key.SrcIP != netip.MustParseAddr("10.0.0.1") {
+		t.Fatalf("tie break = %v", tb.Top(1)[0].Key)
+	}
+}

@@ -1,0 +1,151 @@
+package pcapfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ERF (Extensible Record Format) is the trace format of Endace DAG capture
+// cards. The thesis notes that createDist "can only read pcap formatted
+// trace files" because "there is no library to process DAG trace files"
+// (§A.1.2) — this reader closes that gap.
+//
+// Each record starts with a 16-byte header:
+//
+//	bytes 0..7   timestamp, little-endian 32.32 fixed point seconds
+//	             since the UNIX epoch
+//	byte  8      record type (2 = Ethernet)
+//	byte  9      flags
+//	bytes 10..11 rlen: total record length including header (big endian)
+//	bytes 12..13 lctr: loss counter
+//	bytes 14..15 wlen: wire length of the packet (big endian)
+//
+// Ethernet records carry 2 bytes of padding/offset before the frame.
+
+// ERF record types (the subset relevant for Ethernet capture).
+const (
+	ERFTypeEthernet = 2
+)
+
+// ERFRecordHeaderLen is the fixed ERF header size.
+const ERFRecordHeaderLen = 16
+
+// ERFReader reads Ethernet packets from an ERF stream.
+type ERFReader struct {
+	r   *bufio.Reader
+	buf []byte
+
+	// LossCounter accumulates the per-record loss counters (packets the
+	// capture hardware dropped between records).
+	LossCounter uint64
+	// Skipped counts non-Ethernet records that were ignored.
+	Skipped uint64
+}
+
+// NewERFReader wraps r. ERF has no file header: the first record starts
+// at byte 0.
+func NewERFReader(r io.Reader) *ERFReader {
+	return &ERFReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Next returns the next Ethernet packet. Non-Ethernet records are skipped
+// and counted. The data slice is reused across calls. io.EOF signals a
+// clean end of the stream.
+func (e *ERFReader) Next() (PacketInfo, []byte, error) {
+	for {
+		var hdr [ERFRecordHeaderLen]byte
+		if _, err := io.ReadFull(e.r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return PacketInfo{}, nil, io.EOF
+			}
+			if err == io.ErrUnexpectedEOF {
+				return PacketInfo{}, nil, ErrShortRecord
+			}
+			return PacketInfo{}, nil, err
+		}
+		ts := binary.LittleEndian.Uint64(hdr[0:8])
+		typ := hdr[8] & 0x7f
+		rlen := int(binary.BigEndian.Uint16(hdr[10:12]))
+		lctr := binary.BigEndian.Uint16(hdr[12:14])
+		wlen := int(binary.BigEndian.Uint16(hdr[14:16]))
+		e.LossCounter += uint64(lctr)
+		if rlen < ERFRecordHeaderLen {
+			return PacketInfo{}, nil, fmt.Errorf("pcapfile: ERF rlen %d shorter than header", rlen)
+		}
+		body := rlen - ERFRecordHeaderLen
+		if cap(e.buf) < body {
+			e.buf = make([]byte, body)
+		}
+		data := e.buf[:body]
+		if _, err := io.ReadFull(e.r, data); err != nil {
+			return PacketInfo{}, nil, ErrShortRecord
+		}
+		if typ != ERFTypeEthernet {
+			e.Skipped++
+			continue
+		}
+		if len(data) < 2 {
+			return PacketInfo{}, nil, fmt.Errorf("pcapfile: ERF Ethernet record without pad")
+		}
+		frame := data[2:] // skip the 2-byte Ethernet pad
+		capLen := len(frame)
+		if wlen < capLen {
+			capLen = wlen
+			frame = frame[:capLen]
+		}
+		return PacketInfo{
+			Timestamp: erfTime(ts),
+			CapLen:    capLen,
+			OrigLen:   wlen,
+		}, frame, nil
+	}
+}
+
+// erfTime converts the 32.32 fixed-point ERF timestamp.
+func erfTime(ts uint64) time.Time {
+	sec := int64(ts >> 32)
+	frac := ts & 0xffffffff
+	// fractional seconds: frac / 2^32, in nanoseconds.
+	nanos := int64((frac*1_000_000_000)>>32) + int64((frac*1_000_000_000)&0xffffffff>>31&1)
+	return time.Unix(sec, nanos).UTC()
+}
+
+// ERFWriter writes Ethernet packets as ERF records (for tests and for
+// converting synthesized traces into DAG form).
+type ERFWriter struct {
+	w *bufio.Writer
+}
+
+// NewERFWriter wraps w.
+func NewERFWriter(w io.Writer) *ERFWriter {
+	return &ERFWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WritePacket appends one Ethernet record.
+func (e *ERFWriter) WritePacket(ts time.Time, frame []byte, wireLen int) error {
+	if wireLen < len(frame) {
+		wireLen = len(frame)
+	}
+	var hdr [ERFRecordHeaderLen]byte
+	sec := uint64(ts.Unix())
+	frac := (uint64(ts.Nanosecond()) << 32) / 1_000_000_000
+	binary.LittleEndian.PutUint64(hdr[0:8], sec<<32|frac)
+	hdr[8] = ERFTypeEthernet
+	rlen := ERFRecordHeaderLen + 2 + len(frame)
+	binary.BigEndian.PutUint16(hdr[10:12], uint16(rlen))
+	binary.BigEndian.PutUint16(hdr[14:16], uint16(wireLen))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write([]byte{0, 0}); err != nil { // Ethernet pad
+		return err
+	}
+	_, err := e.w.Write(frame)
+	return err
+}
+
+// Flush writes buffered records.
+func (e *ERFWriter) Flush() error { return e.w.Flush() }

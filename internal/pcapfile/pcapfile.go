@@ -1,0 +1,201 @@
+// Package pcapfile reads and writes the classic libpcap capture file
+// format (the format tcpdump -w produces and createDist consumes), without
+// any dependency on libpcap itself.
+//
+// Both byte orders and both timestamp resolutions (microsecond magic
+// 0xa1b2c3d4 and nanosecond magic 0xa1b23c4d) are supported when reading;
+// writing always produces native little-endian microsecond files, the most
+// widely compatible choice.
+package pcapfile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Magic numbers.
+const (
+	MagicMicroseconds = 0xa1b2c3d4
+	MagicNanoseconds  = 0xa1b23c4d
+)
+
+// LinkTypeEthernet is the only link type the tools produce (DLT_EN10MB).
+const LinkTypeEthernet = 1
+
+// Header is the global pcap file header.
+type Header struct {
+	VersionMajor uint16
+	VersionMinor uint16
+	SnapLen      uint32
+	LinkType     uint32
+	Nanosecond   bool
+}
+
+// PacketInfo is the per-packet record header.
+type PacketInfo struct {
+	Timestamp time.Time
+	CapLen    int // bytes stored in the file
+	OrigLen   int // bytes on the wire
+}
+
+// Reader reads packets from a pcap file.
+type Reader struct {
+	r      *bufio.Reader
+	order  binary.ByteOrder
+	hdr    Header
+	buf    []byte
+	recHdr [16]byte
+}
+
+// ErrShortRecord reports a truncated packet record.
+var ErrShortRecord = errors.New("pcapfile: truncated packet record")
+
+// NewReader parses the file header from r.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magicBuf [4]byte
+	if _, err := io.ReadFull(br, magicBuf[:]); err != nil {
+		return nil, fmt.Errorf("pcapfile: reading magic: %w", err)
+	}
+	var order binary.ByteOrder
+	var nano bool
+	switch le := binary.LittleEndian.Uint32(magicBuf[:]); le {
+	case MagicMicroseconds:
+		order = binary.LittleEndian
+	case MagicNanoseconds:
+		order, nano = binary.LittleEndian, true
+	default:
+		switch be := binary.BigEndian.Uint32(magicBuf[:]); be {
+		case MagicMicroseconds:
+			order = binary.BigEndian
+		case MagicNanoseconds:
+			order, nano = binary.BigEndian, true
+		default:
+			return nil, fmt.Errorf("pcapfile: bad magic %#08x", le)
+		}
+	}
+	var rest [20]byte
+	if _, err := io.ReadFull(br, rest[:]); err != nil {
+		return nil, fmt.Errorf("pcapfile: reading header: %w", err)
+	}
+	hdr := Header{
+		VersionMajor: order.Uint16(rest[0:2]),
+		VersionMinor: order.Uint16(rest[2:4]),
+		SnapLen:      order.Uint32(rest[12:16]),
+		LinkType:     order.Uint32(rest[16:20]),
+		Nanosecond:   nano,
+	}
+	return &Reader{r: br, order: order, hdr: hdr}, nil
+}
+
+// Header returns the parsed file header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next returns the next packet record. The returned data slice is reused by
+// subsequent calls; copy it if it must outlive the next Next call. io.EOF
+// is returned cleanly at end of file.
+func (r *Reader) Next() (PacketInfo, []byte, error) {
+	if _, err := io.ReadFull(r.r, r.recHdr[:]); err != nil {
+		if err == io.EOF {
+			return PacketInfo{}, nil, io.EOF
+		}
+		if err == io.ErrUnexpectedEOF {
+			return PacketInfo{}, nil, ErrShortRecord
+		}
+		return PacketInfo{}, nil, err
+	}
+	sec := r.order.Uint32(r.recHdr[0:4])
+	frac := r.order.Uint32(r.recHdr[4:8])
+	capLen := r.order.Uint32(r.recHdr[8:12])
+	origLen := r.order.Uint32(r.recHdr[12:16])
+	if capLen > 1<<22 {
+		return PacketInfo{}, nil, fmt.Errorf("pcapfile: implausible capture length %d", capLen)
+	}
+	if cap(r.buf) < int(capLen) {
+		r.buf = make([]byte, capLen)
+	}
+	data := r.buf[:capLen]
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return PacketInfo{}, nil, ErrShortRecord
+	}
+	nanos := int64(frac)
+	if !r.hdr.Nanosecond {
+		nanos *= 1000
+	}
+	return PacketInfo{
+		Timestamp: time.Unix(int64(sec), nanos).UTC(),
+		CapLen:    int(capLen),
+		OrigLen:   int(origLen),
+	}, data, nil
+}
+
+// Writer writes packets to a pcap file.
+type Writer struct {
+	w       *bufio.Writer
+	snaplen uint32
+	wrote   bool
+}
+
+// NewWriter creates a Writer; the file header is emitted on the first call
+// to WritePacket or Flush.
+func NewWriter(w io.Writer, snaplen uint32) *Writer {
+	if snaplen == 0 {
+		snaplen = 65535
+	}
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), snaplen: snaplen}
+}
+
+func (w *Writer) writeHeader() error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], MagicMicroseconds)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2)
+	binary.LittleEndian.PutUint16(hdr[6:8], 4)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], w.snaplen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	_, err := w.w.Write(hdr[:])
+	w.wrote = true
+	return err
+}
+
+// WritePacket appends one packet. If len(data) exceeds the snap length only
+// the first snaplen bytes are stored, with OrigLen recording origLen (pass
+// len(data) when the full packet is in hand).
+func (w *Writer) WritePacket(ts time.Time, data []byte, origLen int) error {
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	capLen := len(data)
+	if uint32(capLen) > w.snaplen {
+		capLen = int(w.snaplen)
+	}
+	if origLen < capLen {
+		origLen = capLen
+	}
+	var rec [16]byte
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(ts.Unix()))
+	binary.LittleEndian.PutUint32(rec[4:8], uint32(ts.Nanosecond()/1000))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(capLen))
+	binary.LittleEndian.PutUint32(rec[12:16], uint32(origLen))
+	if _, err := w.w.Write(rec[:]); err != nil {
+		return err
+	}
+	_, err := w.w.Write(data[:capLen])
+	return err
+}
+
+// Flush writes any buffered data (and the header, for an empty capture).
+func (w *Writer) Flush() error {
+	if !w.wrote {
+		if err := w.writeHeader(); err != nil {
+			return err
+		}
+	}
+	return w.w.Flush()
+}

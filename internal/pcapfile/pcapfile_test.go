@@ -1,0 +1,203 @@
+package pcapfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 65535)
+	base := time.Unix(1131980000, 123456000).UTC() // Nov 2005
+	pkts := [][]byte{
+		bytes.Repeat([]byte{1}, 40),
+		bytes.Repeat([]byte{2}, 576),
+		bytes.Repeat([]byte{3}, 1500),
+	}
+	for i, p := range pkts {
+		if err := w.WritePacket(base.Add(time.Duration(i)*time.Millisecond), p, len(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := r.Header()
+	if hdr.LinkType != LinkTypeEthernet || hdr.SnapLen != 65535 ||
+		hdr.VersionMajor != 2 || hdr.VersionMinor != 4 || hdr.Nanosecond {
+		t.Fatalf("header = %+v", hdr)
+	}
+	for i, want := range pkts {
+		info, data, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+		if info.CapLen != len(want) || info.OrigLen != len(want) {
+			t.Fatalf("packet %d lengths = %+v", i, info)
+		}
+		wantTS := base.Add(time.Duration(i) * time.Millisecond)
+		if !info.Timestamp.Equal(wantTS) {
+			t.Fatalf("packet %d ts = %v, want %v", i, info.Timestamp, wantTS)
+		}
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestSnapLenTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 76) // the thesis's header-trace snap length
+	full := bytes.Repeat([]byte{9}, 1500)
+	if err := w.WritePacket(time.Unix(0, 0), full, len(full)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 76 || info.CapLen != 76 {
+		t.Fatalf("caplen = %d, want 76", info.CapLen)
+	}
+	if info.OrigLen != 1500 {
+		t.Fatalf("origlen = %d, want 1500", info.OrigLen)
+	}
+}
+
+func TestBigEndianAndNanosecondInput(t *testing.T) {
+	// Hand-build a big-endian nanosecond file with one 4-byte packet.
+	var buf bytes.Buffer
+	var hdr [24]byte
+	binary.BigEndian.PutUint32(hdr[0:4], MagicNanoseconds)
+	binary.BigEndian.PutUint16(hdr[4:6], 2)
+	binary.BigEndian.PutUint16(hdr[6:8], 4)
+	binary.BigEndian.PutUint32(hdr[16:20], 96)
+	binary.BigEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	buf.Write(hdr[:])
+	var rec [16]byte
+	binary.BigEndian.PutUint32(rec[0:4], 1000)
+	binary.BigEndian.PutUint32(rec[4:8], 789) // nanoseconds
+	binary.BigEndian.PutUint32(rec[8:12], 4)
+	binary.BigEndian.PutUint32(rec[12:16], 60)
+	buf.Write(rec[:])
+	buf.Write([]byte{0xde, 0xad, 0xbe, 0xef})
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Header().Nanosecond || r.Header().SnapLen != 96 {
+		t.Fatalf("header = %+v", r.Header())
+	}
+	info, data, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Timestamp.UnixNano() != 1000*1e9+789 {
+		t.Fatalf("ts = %v", info.Timestamp.UnixNano())
+	}
+	if !bytes.Equal(data, []byte{0xde, 0xad, 0xbe, 0xef}) || info.OrigLen != 60 {
+		t.Fatalf("record = %+v %x", info, data)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	if err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 0)
+	if err := w.WritePacket(time.Unix(0, 0), make([]byte, 100), 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	r, err := NewReader(bytes.NewReader(full[:len(full)-10]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != ErrShortRecord {
+		t.Fatalf("err = %v, want ErrShortRecord", err)
+	}
+}
+
+func TestEmptyFileHasHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, 1515)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 24 {
+		t.Fatalf("empty capture file = %d bytes, want 24", buf.Len())
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+// Property: arbitrary packet contents and sizes survive a write/read cycle.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, 65535)
+		for i, p := range payloads {
+			if len(p) > 4000 {
+				p = p[:4000]
+			}
+			payloads[i] = p
+			if err := w.WritePacket(time.Unix(int64(i), 0), p, len(p)); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		for _, want := range payloads {
+			_, data, err := r.Next()
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(data, want) {
+				return false
+			}
+		}
+		_, _, err = r.Next()
+		return err == io.EOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

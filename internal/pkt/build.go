@@ -1,0 +1,122 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// UDPSpec describes a UDP frame to synthesize; this is the packet shape the
+// enhanced pktgen emits.
+type UDPSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     netip.Addr
+	SrcPort, DstPort uint16
+	// FrameLen is the total Ethernet frame length (14-byte header included,
+	// preamble/FCS excluded). It is clamped to [MinUDPFrameLen, MaxFrameLen].
+	FrameLen int
+	// Seq is stamped into the first 4 payload bytes, emulating pktgen's
+	// sequence-number magic that lets receivers detect loss and reordering.
+	Seq uint32
+	// Checksum controls whether the UDP checksum is computed. pktgen leaves
+	// it zero (allowed for UDP/IPv4); the default matches that.
+	Checksum bool
+}
+
+// MinUDPFrameLen is the smallest frame that still carries the full
+// Ethernet+IPv4+UDP header chain plus the 4-byte sequence stamp.
+const MinUDPFrameLen = EthernetHeaderLen + IPv4HeaderLen + UDPHeaderLen + 4
+
+// BuildUDP synthesizes the frame described by spec into buf, growing it if
+// needed, and returns the frame slice. Payload bytes after the sequence
+// stamp are a deterministic pattern (0x55), mirroring pktgen's constant
+// fill: packet *content* has no influence on capture performance (§3.2),
+// but must be deterministic for reproducibility.
+func BuildUDP(buf []byte, spec UDPSpec) []byte {
+	n := spec.FrameLen
+	if n < MinUDPFrameLen {
+		n = MinUDPFrameLen
+	}
+	if n > MaxFrameLen {
+		n = MaxFrameLen
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	b := buf[:n]
+
+	off := EncodeEthernet(b, Ethernet{Dst: spec.DstMAC, Src: spec.SrcMAC, EtherType: EtherTypeIPv4})
+	ipLen := n - EthernetHeaderLen
+	udpLen := ipLen - IPv4HeaderLen
+	payload := b[off+IPv4HeaderLen+UDPHeaderLen : n]
+	binary.BigEndian.PutUint32(payload[0:4], spec.Seq)
+	for i := 4; i < len(payload); i++ {
+		payload[i] = 0x55
+	}
+	EncodeIPv4(b[off:], IPv4{
+		Length:   uint16(ipLen),
+		ID:       uint16(spec.Seq),
+		TTL:      32,
+		Protocol: ProtoUDP,
+		Src:      spec.SrcIP,
+		Dst:      spec.DstIP,
+	})
+	EncodeUDP(b[off+IPv4HeaderLen:], UDP{
+		SrcPort: spec.SrcPort,
+		DstPort: spec.DstPort,
+		Length:  uint16(udpLen),
+	}, spec.SrcIP, spec.DstIP, payload, spec.Checksum)
+	return b
+}
+
+// Summary is the decoded view of a frame that the offline tools need:
+// enough to classify the packet and recover its sizes and addresses.
+type Summary struct {
+	FrameLen int
+	Ethernet Ethernet
+	IsIPv4   bool
+	IPv4     IPv4
+	IsUDP    bool
+	UDP      UDP
+	IsTCP    bool
+	TCP      TCP
+}
+
+// Parse decodes the layer chain of frame. Non-IP frames yield IsIPv4=false
+// with no error; genuinely malformed headers return an error.
+func Parse(frame []byte) (Summary, error) {
+	var s Summary
+	s.FrameLen = len(frame)
+	eth, err := DecodeEthernet(frame)
+	if err != nil {
+		return s, err
+	}
+	s.Ethernet = eth
+	if eth.EtherType != EtherTypeIPv4 {
+		return s, nil
+	}
+	ip, err := DecodeIPv4(frame[EthernetHeaderLen:])
+	if err != nil {
+		return s, fmt.Errorf("pkt: %w", err)
+	}
+	s.IsIPv4 = true
+	s.IPv4 = ip
+	transport := frame[EthernetHeaderLen+ip.HeaderLen():]
+	switch ip.Protocol {
+	case ProtoUDP:
+		u, err := DecodeUDP(transport)
+		if err != nil {
+			return s, nil // truncated transport header: keep the IP view
+		}
+		s.IsUDP = true
+		s.UDP = u
+	case ProtoTCP:
+		t, err := DecodeTCP(transport)
+		if err != nil {
+			return s, nil
+		}
+		s.IsTCP = true
+		s.TCP = t
+	}
+	return s, nil
+}

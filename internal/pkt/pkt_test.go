@@ -1,0 +1,235 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	got := Checksum(data, 0)
+	if got != ^uint16(0xddf2) {
+		t.Fatalf("checksum = %#04x, want %#04x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// An odd final byte is padded with zero on the right.
+	even := Checksum([]byte{0xab, 0x00}, 0)
+	odd := Checksum([]byte{0xab}, 0)
+	if even != odd {
+		t.Fatalf("odd-length checksum %#04x != padded %#04x", odd, even)
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	h := Ethernet{
+		Dst:       MAC{0, 1, 2, 3, 4, 5},
+		Src:       MAC{10, 11, 12, 13, 14, 15},
+		EtherType: EtherTypeIPv4,
+	}
+	var b [EthernetHeaderLen]byte
+	EncodeEthernet(b[:], h)
+	got, err := DecodeEthernet(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+}
+
+func TestIPv4RoundTripAndChecksum(t *testing.T) {
+	h := IPv4{
+		TOS:      0x10,
+		Length:   120,
+		ID:       0xbeef,
+		Flags:    2,
+		TTL:      64,
+		Protocol: ProtoUDP,
+		Src:      addr("192.168.10.100"),
+		Dst:      addr("192.168.10.12"),
+	}
+	var b [IPv4HeaderLen]byte
+	EncodeIPv4(b[:], h)
+	got, err := DecodeIPv4(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != h.Src || got.Dst != h.Dst || got.Length != h.Length ||
+		got.Protocol != h.Protocol || got.ID != h.ID || got.TTL != h.TTL ||
+		got.Flags != h.Flags || got.TOS != h.TOS {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+	// A correct IPv4 header checksums to zero when summed including the
+	// checksum field.
+	if ck := Checksum(b[:], 0); ck != 0 {
+		t.Fatalf("header checksum verify = %#04x, want 0", ck)
+	}
+}
+
+func TestDecodeIPv4Errors(t *testing.T) {
+	if _, err := DecodeIPv4(make([]byte, 10)); err == nil {
+		t.Fatal("short header accepted")
+	}
+	b := make([]byte, 20)
+	b[0] = 0x60 // version 6
+	if _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("IPv6 version accepted")
+	}
+	b[0] = 0x43 // IHL 3 (<5)
+	if _, err := DecodeIPv4(b); err == nil {
+		t.Fatal("bad IHL accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	h := UDP{SrcPort: 9, DstPort: 9, Length: 26}
+	var b [UDPHeaderLen]byte
+	payload := []byte("abcdefghij1234567890")
+	EncodeUDP(b[:], h, addr("10.0.0.1"), addr("10.0.0.2"), payload, true)
+	got, err := DecodeUDP(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 9 || got.DstPort != 9 || got.Length != 26 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.Checksum == 0 {
+		t.Fatal("requested checksum is zero")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	h := TCP{SrcPort: 80, DstPort: 54321, Seq: 1e9, Ack: 42, Flags: TCPFlagACK | TCPFlagPSH, Window: 65535}
+	var b [TCPHeaderLen]byte
+	EncodeTCP(b[:], h, addr("10.0.0.1"), addr("10.0.0.2"), nil, true)
+	got, err := DecodeTCP(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != h.SrcPort || got.DstPort != h.DstPort || got.Seq != h.Seq ||
+		got.Ack != h.Ack || got.Flags != h.Flags || got.Window != h.Window {
+		t.Fatalf("round trip = %+v, want %+v", got, h)
+	}
+	if got.DataOffset != 5 {
+		t.Fatalf("data offset = %d, want 5", got.DataOffset)
+	}
+}
+
+func TestBuildUDPStructure(t *testing.T) {
+	spec := UDPSpec{
+		SrcMAC:  MAC{0, 0, 0, 0, 0, 1},
+		DstMAC:  MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		SrcIP:   addr("192.168.10.100"),
+		DstIP:   addr("192.168.10.12"),
+		SrcPort: 9, DstPort: 9,
+		FrameLen: 200,
+		Seq:      77,
+	}
+	frame := BuildUDP(nil, spec)
+	if len(frame) != 200 {
+		t.Fatalf("frame len = %d, want 200", len(frame))
+	}
+	s, err := Parse(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.IsIPv4 || !s.IsUDP {
+		t.Fatalf("parse = %+v, want IPv4/UDP", s)
+	}
+	if s.IPv4.Src != spec.SrcIP || s.IPv4.Dst != spec.DstIP {
+		t.Fatalf("IPs = %v -> %v", s.IPv4.Src, s.IPv4.Dst)
+	}
+	if int(s.IPv4.Length) != 200-EthernetHeaderLen {
+		t.Fatalf("IP length = %d", s.IPv4.Length)
+	}
+	if int(s.UDP.Length) != 200-EthernetHeaderLen-IPv4HeaderLen {
+		t.Fatalf("UDP length = %d", s.UDP.Length)
+	}
+	payload := frame[EthernetHeaderLen+IPv4HeaderLen+UDPHeaderLen:]
+	if binary.BigEndian.Uint32(payload[:4]) != 77 {
+		t.Fatal("sequence stamp missing")
+	}
+	// IP header checksum must verify.
+	if ck := Checksum(frame[EthernetHeaderLen:EthernetHeaderLen+IPv4HeaderLen], 0); ck != 0 {
+		t.Fatalf("IP checksum verify = %#04x", ck)
+	}
+}
+
+func TestBuildUDPClampsLength(t *testing.T) {
+	frame := BuildUDP(nil, UDPSpec{FrameLen: 10, SrcIP: addr("1.2.3.4"), DstIP: addr("5.6.7.8")})
+	if len(frame) != MinUDPFrameLen {
+		t.Fatalf("frame len = %d, want %d", len(frame), MinUDPFrameLen)
+	}
+	frame = BuildUDP(nil, UDPSpec{FrameLen: 9999, SrcIP: addr("1.2.3.4"), DstIP: addr("5.6.7.8")})
+	if len(frame) != MaxFrameLen {
+		t.Fatalf("frame len = %d, want %d", len(frame), MaxFrameLen)
+	}
+}
+
+func TestBuildUDPReusesBuffer(t *testing.T) {
+	buf := make([]byte, MaxFrameLen)
+	f1 := BuildUDP(buf, UDPSpec{FrameLen: 100, SrcIP: addr("1.2.3.4"), DstIP: addr("5.6.7.8")})
+	if &f1[0] != &buf[0] {
+		t.Fatal("BuildUDP allocated despite sufficient buffer")
+	}
+}
+
+// Property: every frame size in the valid range round-trips through
+// Parse with consistent length fields.
+func TestBuildParseProperty(t *testing.T) {
+	f := func(rawLen uint16, seq uint32) bool {
+		n := MinUDPFrameLen + int(rawLen)%(MaxFrameLen-MinUDPFrameLen+1)
+		frame := BuildUDP(nil, UDPSpec{
+			SrcIP: addr("192.168.10.100"), DstIP: addr("192.168.10.12"),
+			FrameLen: n, Seq: seq,
+		})
+		s, err := Parse(frame)
+		if err != nil || !s.IsUDP {
+			return false
+		}
+		return len(frame) == n &&
+			int(s.IPv4.Length) == n-EthernetHeaderLen &&
+			int(s.UDP.Length) == n-EthernetHeaderLen-IPv4HeaderLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the IPv4 checksum of any encoded header verifies to zero.
+func TestIPv4ChecksumProperty(t *testing.T) {
+	f := func(id uint16, ttl uint8, length uint16, srcRaw, dstRaw uint32) bool {
+		var s4, d4 [4]byte
+		binary.BigEndian.PutUint32(s4[:], srcRaw)
+		binary.BigEndian.PutUint32(d4[:], dstRaw)
+		h := IPv4{
+			Length: length, ID: id, TTL: ttl, Protocol: ProtoTCP,
+			Src: netip.AddrFrom4(s4), Dst: netip.AddrFrom4(d4),
+		}
+		var b [IPv4HeaderLen]byte
+		EncodeIPv4(b[:], h)
+		return Checksum(b[:], 0) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNonIP(t *testing.T) {
+	var b [60]byte
+	EncodeEthernet(b[:], Ethernet{EtherType: EtherTypeARP})
+	s, err := Parse(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsIPv4 {
+		t.Fatal("ARP parsed as IPv4")
+	}
+}

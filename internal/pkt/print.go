@@ -1,0 +1,162 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+	"time"
+)
+
+// ICMP is a decoded ICMP header (the fields common to all types).
+type ICMP struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+}
+
+// ICMPHeaderLen is the fixed part of the ICMP header.
+const ICMPHeaderLen = 4
+
+// DecodeICMP parses an ICMP header from b.
+func DecodeICMP(b []byte) (ICMP, error) {
+	if len(b) < ICMPHeaderLen {
+		return ICMP{}, fmt.Errorf("pkt: short ICMP header: %d bytes", len(b))
+	}
+	return ICMP{Type: b[0], Code: b[1], Checksum: binary.BigEndian.Uint16(b[2:4])}, nil
+}
+
+// ARP is a decoded ARP packet (Ethernet/IPv4 flavour).
+type ARP struct {
+	Op                 uint16 // 1 = request, 2 = reply
+	SenderHW, TargetHW MAC
+	SenderIP, TargetIP netip.Addr
+}
+
+// ARPLen is the length of an Ethernet/IPv4 ARP body.
+const ARPLen = 28
+
+// ARP opcodes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// DecodeARP parses an ARP body from b.
+func DecodeARP(b []byte) (ARP, error) {
+	if len(b) < ARPLen {
+		return ARP{}, fmt.Errorf("pkt: short ARP body: %d bytes", len(b))
+	}
+	if htype := binary.BigEndian.Uint16(b[0:2]); htype != 1 {
+		return ARP{}, fmt.Errorf("pkt: ARP hardware type %d not Ethernet", htype)
+	}
+	if ptype := binary.BigEndian.Uint16(b[2:4]); ptype != EtherTypeIPv4 {
+		return ARP{}, fmt.Errorf("pkt: ARP protocol type %#04x not IPv4", ptype)
+	}
+	if b[4] != 6 || b[5] != 4 {
+		return ARP{}, fmt.Errorf("pkt: ARP address lengths %d/%d", b[4], b[5])
+	}
+	var a ARP
+	a.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(a.SenderHW[:], b[8:14])
+	a.SenderIP = netip.AddrFrom4([4]byte(b[14:18]))
+	copy(a.TargetHW[:], b[18:24])
+	a.TargetIP = netip.AddrFrom4([4]byte(b[24:28]))
+	return a, nil
+}
+
+// EncodeARP writes an Ethernet/IPv4 ARP body into b (≥ ARPLen bytes).
+func EncodeARP(b []byte, a ARP) int {
+	_ = b[ARPLen-1]
+	binary.BigEndian.PutUint16(b[0:2], 1)
+	binary.BigEndian.PutUint16(b[2:4], EtherTypeIPv4)
+	b[4], b[5] = 6, 4
+	binary.BigEndian.PutUint16(b[6:8], a.Op)
+	copy(b[8:14], a.SenderHW[:])
+	s, t := a.SenderIP.As4(), a.TargetIP.As4()
+	copy(b[14:18], s[:])
+	copy(b[18:24], a.TargetHW[:])
+	copy(b[24:28], t[:])
+	return ARPLen
+}
+
+// Format renders one frame as a tcpdump-style one-liner:
+//
+//	12:34:56.789012 IP 192.168.10.100.9 > 192.168.10.12.9: UDP, length 618
+//
+// A zero ts omits the timestamp. Undecodable frames degrade gracefully to
+// an EtherType dump rather than failing.
+func Format(ts time.Time, frame []byte) string {
+	var b strings.Builder
+	if !ts.IsZero() {
+		fmt.Fprintf(&b, "%s ", ts.Format("15:04:05.000000"))
+	}
+	s, err := Parse(frame)
+	if err != nil {
+		fmt.Fprintf(&b, "[malformed frame, %d bytes: %v]", len(frame), err)
+		return b.String()
+	}
+	switch {
+	case s.IsUDP:
+		fmt.Fprintf(&b, "IP %s.%d > %s.%d: UDP, length %d",
+			s.IPv4.Src, s.UDP.SrcPort, s.IPv4.Dst, s.UDP.DstPort,
+			int(s.UDP.Length)-UDPHeaderLen)
+	case s.IsTCP:
+		fmt.Fprintf(&b, "IP %s.%d > %s.%d: Flags [%s], seq %d, win %d, length %d",
+			s.IPv4.Src, s.TCP.SrcPort, s.IPv4.Dst, s.TCP.DstPort,
+			tcpFlagString(s.TCP.Flags), s.TCP.Seq, s.TCP.Window,
+			int(s.IPv4.Length)-s.IPv4.HeaderLen()-int(s.TCP.DataOffset)*4)
+	case s.IsIPv4 && s.IPv4.Protocol == ProtoICMP:
+		if icmp, err := DecodeICMP(frame[EthernetHeaderLen+s.IPv4.HeaderLen():]); err == nil {
+			fmt.Fprintf(&b, "IP %s > %s: ICMP type %d code %d, length %d",
+				s.IPv4.Src, s.IPv4.Dst, icmp.Type, icmp.Code,
+				int(s.IPv4.Length)-s.IPv4.HeaderLen())
+		} else {
+			fmt.Fprintf(&b, "IP %s > %s: ICMP [truncated]", s.IPv4.Src, s.IPv4.Dst)
+		}
+	case s.IsIPv4:
+		fmt.Fprintf(&b, "IP %s > %s: proto %d, length %d",
+			s.IPv4.Src, s.IPv4.Dst, s.IPv4.Protocol,
+			int(s.IPv4.Length)-s.IPv4.HeaderLen())
+	case s.Ethernet.EtherType == EtherTypeARP:
+		if a, err := DecodeARP(frame[EthernetHeaderLen:]); err == nil {
+			if a.Op == ARPRequest {
+				fmt.Fprintf(&b, "ARP, Request who-has %s tell %s", a.TargetIP, a.SenderIP)
+			} else {
+				fmt.Fprintf(&b, "ARP, Reply %s is-at %s", a.SenderIP, a.SenderHW)
+			}
+		} else {
+			fmt.Fprintf(&b, "ARP [truncated]")
+		}
+	default:
+		fmt.Fprintf(&b, "ethertype %#04x, %s > %s, length %d",
+			s.Ethernet.EtherType, s.Ethernet.Src, s.Ethernet.Dst, len(frame))
+	}
+	return b.String()
+}
+
+func tcpFlagString(f uint8) string {
+	var parts []string
+	if f&TCPFlagSYN != 0 {
+		parts = append(parts, "S")
+	}
+	if f&TCPFlagFIN != 0 {
+		parts = append(parts, "F")
+	}
+	if f&TCPFlagRST != 0 {
+		parts = append(parts, "R")
+	}
+	if f&TCPFlagPSH != 0 {
+		parts = append(parts, "P")
+	}
+	if f&TCPFlagACK != 0 {
+		parts = append(parts, ".")
+	}
+	if f&TCPFlagURG != 0 {
+		parts = append(parts, "U")
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, "")
+}

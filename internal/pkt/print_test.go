@@ -1,0 +1,137 @@
+package pkt
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestICMPRoundTrip(t *testing.T) {
+	b := []byte{8, 0, 0xf7, 0xff, 0, 1, 0, 2} // echo request
+	icmp, err := DecodeICMP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icmp.Type != 8 || icmp.Code != 0 || icmp.Checksum != 0xf7ff {
+		t.Fatalf("icmp = %+v", icmp)
+	}
+	if _, err := DecodeICMP(b[:2]); err == nil {
+		t.Fatal("short ICMP accepted")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:       ARPRequest,
+		SenderHW: MAC{1, 2, 3, 4, 5, 6},
+		SenderIP: netip.MustParseAddr("192.168.10.100"),
+		TargetIP: netip.MustParseAddr("192.168.10.1"),
+	}
+	var b [ARPLen]byte
+	EncodeARP(b[:], a)
+	got, err := DecodeARP(b[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Op != a.Op || got.SenderHW != a.SenderHW ||
+		got.SenderIP != a.SenderIP || got.TargetIP != a.TargetIP {
+		t.Fatalf("round trip = %+v, want %+v", got, a)
+	}
+}
+
+func TestDecodeARPErrors(t *testing.T) {
+	var b [ARPLen]byte
+	EncodeARP(b[:], ARP{Op: 1, SenderIP: netip.MustParseAddr("1.2.3.4"), TargetIP: netip.MustParseAddr("5.6.7.8")})
+	short := b[:10]
+	if _, err := DecodeARP(short); err == nil {
+		t.Fatal("short ARP accepted")
+	}
+	bad := b
+	bad[0], bad[1] = 0, 9 // hardware type 9
+	if _, err := DecodeARP(bad[:]); err == nil {
+		t.Fatal("non-Ethernet ARP accepted")
+	}
+}
+
+func TestFormatUDP(t *testing.T) {
+	frame := BuildUDP(nil, UDPSpec{
+		SrcIP: netip.MustParseAddr("192.168.10.100"), DstIP: netip.MustParseAddr("192.168.10.12"),
+		SrcPort: 9, DstPort: 9, FrameLen: 200,
+	})
+	line := Format(time.Time{}, frame)
+	for _, want := range []string{"IP 192.168.10.100.9 > 192.168.10.12.9", "UDP", "length 158"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+	ts := time.Date(2005, 11, 15, 12, 34, 56, 789012000, time.UTC)
+	line = Format(ts, frame)
+	if !strings.HasPrefix(line, "12:34:56.789012 ") {
+		t.Fatalf("timestamp missing: %q", line)
+	}
+}
+
+func TestFormatTCP(t *testing.T) {
+	b := make([]byte, 54)
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	EncodeEthernet(b, Ethernet{EtherType: EtherTypeIPv4})
+	EncodeIPv4(b[14:], IPv4{Length: 40, TTL: 64, Protocol: ProtoTCP, Src: src, Dst: dst})
+	EncodeTCP(b[34:], TCP{SrcPort: 80, DstPort: 1234, Seq: 7, Flags: TCPFlagSYN | TCPFlagACK, Window: 1024}, src, dst, nil, true)
+	line := Format(time.Time{}, b)
+	for _, want := range []string{"10.0.0.1.80 > 10.0.0.2.1234", "Flags [S.]", "seq 7", "win 1024"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFormatICMPAndARP(t *testing.T) {
+	// ICMP echo request.
+	b := make([]byte, EthernetHeaderLen+IPv4HeaderLen+8)
+	src, dst := netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")
+	EncodeEthernet(b, Ethernet{EtherType: EtherTypeIPv4})
+	EncodeIPv4(b[14:], IPv4{Length: uint16(len(b) - 14), TTL: 64, Protocol: ProtoICMP, Src: src, Dst: dst})
+	b[34] = 8
+	line := Format(time.Time{}, b)
+	if !strings.Contains(line, "ICMP type 8") {
+		t.Fatalf("icmp line %q", line)
+	}
+
+	// ARP request.
+	arp := make([]byte, EthernetHeaderLen+ARPLen)
+	EncodeEthernet(arp, Ethernet{EtherType: EtherTypeARP})
+	EncodeARP(arp[14:], ARP{Op: ARPRequest,
+		SenderIP: netip.MustParseAddr("192.168.10.100"),
+		TargetIP: netip.MustParseAddr("192.168.10.1")})
+	line = Format(time.Time{}, arp)
+	if !strings.Contains(line, "who-has 192.168.10.1 tell 192.168.10.100") {
+		t.Fatalf("arp line %q", line)
+	}
+}
+
+func TestFormatDegradesGracefully(t *testing.T) {
+	junk := []byte{1, 2, 3}
+	line := Format(time.Time{}, junk)
+	if !strings.Contains(line, "malformed") {
+		t.Fatalf("line %q", line)
+	}
+	var unknown [60]byte
+	EncodeEthernet(unknown[:], Ethernet{EtherType: 0x86dd}) // IPv6
+	line = Format(time.Time{}, unknown[:])
+	if !strings.Contains(line, "ethertype 0x86dd") {
+		t.Fatalf("line %q", line)
+	}
+}
+
+func TestTCPFlagString(t *testing.T) {
+	if got := tcpFlagString(TCPFlagSYN); got != "S" {
+		t.Fatalf("S = %q", got)
+	}
+	if got := tcpFlagString(TCPFlagFIN | TCPFlagACK); got != "F." {
+		t.Fatalf("F. = %q", got)
+	}
+	if got := tcpFlagString(0); got != "none" {
+		t.Fatalf("none = %q", got)
+	}
+}

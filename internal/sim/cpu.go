@@ -1,0 +1,345 @@
+package sim
+
+import "fmt"
+
+// Prio is a scheduling priority class. Lower values preempt higher values.
+// The classes mirror the execution contexts relevant to 2005-era capture
+// stacks: hardware interrupts beat soft interrupts beat kernel (syscall)
+// work beats user code.
+type Prio int
+
+const (
+	PrioHardIRQ Prio = iota
+	PrioSoftIRQ
+	PrioKernel
+	PrioUser
+	NumPrio
+)
+
+// String returns the cpusage-style state name for the priority class.
+func (p Prio) String() string {
+	switch p {
+	case PrioHardIRQ:
+		return "intr"
+	case PrioSoftIRQ:
+		return "softintr"
+	case PrioKernel:
+		return "sys"
+	case PrioUser:
+		return "user"
+	default:
+		return fmt.Sprintf("prio(%d)", int(p))
+	}
+}
+
+// Task is a unit of work executed on a CPU.
+//
+// The cost of a task has two components:
+//   - FixedNS: compute-bound nanoseconds at the CPU's nominal speed.
+//   - MemBytes × MemNsPerByte: memory-bound nanoseconds, subject to the
+//     machine's dynamic memory-contention multiplier (shared front-side bus
+//     on the Xeon vs independent memory controllers on the Opteron).
+//
+// OnDone runs when the task completes; model code chains sequential
+// activities (an application's read loop, a softirq drain, ...) by
+// submitting the next task from OnDone.
+type Task struct {
+	Name         string
+	Prio         Prio
+	FixedNS      float64
+	MemBytes     float64
+	MemNsPerByte float64
+
+	OnDone func()
+
+	// remaining tracks the unfinished fraction after a preemption.
+	remaining float64 // 0 => fresh task (fraction 1.0)
+	started   Time
+	duration  Time
+	doneRef   EventRef
+}
+
+func (t *Task) fraction() float64 {
+	if t.remaining == 0 {
+		return 1.0
+	}
+	return t.remaining
+}
+
+// Machine is a set of CPUs sharing a memory system. It owns the dynamic
+// cost multipliers (memory-bus contention, hyperthreading slowdown) and the
+// user-task placement policy.
+type Machine struct {
+	Sim  *Sim
+	CPUs []*CPU
+
+	// MemContention multiplies MemNsPerByte of a task while at least one
+	// *other* CPU is also executing a memory-active task. 1.0 disables the
+	// effect (point-to-point memory, AMD); >1 models a shared front-side
+	// bus (Intel).
+	MemContention float64
+
+	// HTSlowdown multiplies all costs of a task while its hyperthread
+	// sibling CPU is busy. 1.0 when hyperthreading is off or the CPU has a
+	// dedicated core.
+	HTSlowdown float64
+}
+
+// NewMachine creates a machine with n CPUs. If hyperthreading is true the
+// CPUs are paired: CPU 2k and 2k+1 share physical core k.
+func NewMachine(s *Sim, n int, hyperthreading bool) *Machine {
+	m := &Machine{Sim: s, MemContention: 1.0, HTSlowdown: 1.0}
+	for i := 0; i < n; i++ {
+		core := i
+		if hyperthreading {
+			core = i / 2
+		}
+		m.CPUs = append(m.CPUs, &CPU{machine: m, ID: i, Core: core})
+	}
+	return m
+}
+
+// CPU is a single (possibly logical) processor with strict-priority,
+// preemptive FIFO scheduling and busy-time accounting per priority class.
+type CPU struct {
+	machine *Machine
+	ID      int
+	Core    int
+
+	queues  [NumPrio][]*Task
+	current *Task
+
+	busy [NumPrio]Time // completed busy time per class
+}
+
+// Submit enqueues t on this CPU and dispatches or preempts as needed.
+func (c *CPU) Submit(t *Task) {
+	if t.OnDone == nil {
+		panic("sim: task without OnDone")
+	}
+	c.queues[t.Prio] = append(c.queues[t.Prio], t)
+	if c.current == nil {
+		c.dispatch()
+		return
+	}
+	if t.Prio < c.current.Prio {
+		c.preempt()
+		c.dispatch()
+	}
+}
+
+// SubmitFront enqueues t at the head of its priority queue: the next
+// dispatch of that class picks it before anything that was already waiting.
+// This models a process that continues running within its scheduler
+// timeslice instead of yielding (Linux 2.6 O(1) scheduler behaviour under
+// streaming load).
+func (c *CPU) SubmitFront(t *Task) {
+	if t.OnDone == nil {
+		panic("sim: task without OnDone")
+	}
+	c.queues[t.Prio] = append([]*Task{t}, c.queues[t.Prio]...)
+	if c.current == nil {
+		c.dispatch()
+		return
+	}
+	if t.Prio < c.current.Prio {
+		c.preempt()
+		c.dispatch()
+	}
+}
+
+// preempt stops the running task, accounts the elapsed time, and requeues
+// the remainder at the front of its priority queue.
+func (c *CPU) preempt() {
+	cur := c.current
+	elapsed := c.machine.Sim.Now() - cur.started
+	c.busy[cur.Prio] += elapsed
+	frac := 0.0
+	if cur.duration > 0 {
+		frac = float64(elapsed) / float64(cur.duration)
+	}
+	rem := cur.fraction() * (1 - frac)
+	// remaining == 0 denotes a fresh task (zero value); a task preempted
+	// exactly at its completion instant must keep an epsilon so it is
+	// redispatched as (effectively) finished rather than restarted.
+	if rem <= 0 {
+		rem = 1e-12
+	}
+	cur.remaining = rem
+	cur.doneRef.Cancel()
+	c.current = nil
+	// Requeue at the front: a preempted task resumes before tasks that
+	// arrived while it was running.
+	q := c.queues[cur.Prio]
+	c.queues[cur.Prio] = append([]*Task{cur}, q...)
+}
+
+// dispatch starts the highest-priority pending task, if any.
+func (c *CPU) dispatch() {
+	if c.current != nil {
+		return
+	}
+	for p := Prio(0); p < NumPrio; p++ {
+		if len(c.queues[p]) == 0 {
+			continue
+		}
+		t := c.queues[p][0]
+		copy(c.queues[p], c.queues[p][1:])
+		c.queues[p] = c.queues[p][:len(c.queues[p])-1]
+		c.start(t)
+		return
+	}
+}
+
+// start computes the task's duration under the current dynamic conditions
+// and schedules its completion.
+func (c *CPU) start(t *Task) {
+	memNs := t.MemBytes * t.MemNsPerByte
+	if memNs > 0 && c.machine.memActiveElsewhere(c) {
+		memNs *= c.machine.MemContention
+	}
+	ns := (t.FixedNS + memNs) * t.fraction()
+	if c.machine.siblingBusy(c) {
+		ns *= c.machine.HTSlowdown
+	}
+	if ns < 0 {
+		ns = 0
+	}
+	t.started = c.machine.Sim.Now()
+	t.duration = Time(ns + 0.5)
+	c.current = t
+	t.doneRef = c.machine.Sim.After(t.duration, func() { c.complete(t) })
+}
+
+func (c *CPU) complete(t *Task) {
+	if c.current != t {
+		return // stale completion (preempted); defensive, Cancel should prevent this
+	}
+	c.busy[t.Prio] += t.duration
+	c.current = nil
+	// Run the completion callback before dispatching the next task so the
+	// callback may submit follow-up work that competes fairly for the CPU.
+	t.OnDone()
+	c.dispatch()
+}
+
+// Busy returns the accumulated busy time of class p, including the elapsed
+// part of a currently running task.
+func (c *CPU) Busy(p Prio) Time {
+	b := c.busy[p]
+	if c.current != nil && c.current.Prio == p {
+		b += c.machine.Sim.Now() - c.current.started
+	}
+	return b
+}
+
+// BusyTotal returns accumulated busy time across all classes.
+func (c *CPU) BusyTotal() Time {
+	var b Time
+	for p := Prio(0); p < NumPrio; p++ {
+		b += c.Busy(p)
+	}
+	return b
+}
+
+// Idle reports whether the CPU has neither a running task nor queued work.
+func (c *CPU) Idle() bool {
+	if c.current != nil {
+		return false
+	}
+	for p := Prio(0); p < NumPrio; p++ {
+		if len(c.queues[p]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// QueueLen returns the number of queued (not running) tasks of class p.
+func (c *CPU) QueueLen(p Prio) int { return len(c.queues[p]) }
+
+// memActiveElsewhere reports whether any other CPU is running a
+// memory-active task right now.
+func (m *Machine) memActiveElsewhere(self *CPU) bool {
+	if m.MemContention <= 1.0 {
+		return false
+	}
+	for _, c := range m.CPUs {
+		if c != self && c.current != nil && c.current.MemBytes > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// siblingBusy reports whether the hyperthread sibling of self is executing.
+func (m *Machine) siblingBusy(self *CPU) bool {
+	if m.HTSlowdown <= 1.0 {
+		return false
+	}
+	for _, c := range m.CPUs {
+		if c != self && c.Core == self.Core && c.current != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// SubmitUser places a user task where it is projected to finish earliest:
+// the pending work on each CPU plus the task itself, stretched by the
+// share of the CPU that kernel-side work (interrupts, softirqs) has been
+// consuming — a scheduler quickly learns that the CPU taking the
+// interrupts runs user work slowly. Ties are broken by accumulated kernel
+// busy time, then by CPU ID for determinism.
+func (m *Machine) SubmitUser(t *Task) *CPU {
+	best := m.CPUs[0]
+	bestScore := m.finishScore(best, t)
+	bestKern := kernelBusyTotal(best)
+	for _, c := range m.CPUs[1:] {
+		s, k := m.finishScore(c, t), kernelBusyTotal(c)
+		if s < bestScore || (s == bestScore && k < bestKern) {
+			best, bestScore, bestKern = c, s, k
+		}
+	}
+	best.Submit(t)
+	return best
+}
+
+// finishScore projects when t would complete on c.
+func (m *Machine) finishScore(c *CPU, t *Task) float64 {
+	avail := 1.0
+	if now := m.Sim.Now(); now > 0 {
+		kfrac := float64(kernelBusyTotal(c)) / float64(now)
+		avail = 1 - kfrac
+		if avail < 0.1 {
+			avail = 0.1
+		}
+	}
+	return (pendingNS(c) + t.estNS()) / avail
+}
+
+// estNS is the task's nominal duration ignoring dynamic multipliers.
+func (t *Task) estNS() float64 {
+	return (t.FixedNS + t.MemBytes*t.MemNsPerByte) * t.fraction()
+}
+
+// pendingNS estimates the work already committed to a CPU.
+func pendingNS(c *CPU) float64 {
+	var ns float64
+	for p := Prio(0); p < NumPrio; p++ {
+		for _, t := range c.queues[p] {
+			ns += t.estNS()
+		}
+	}
+	if c.current != nil {
+		ns += c.current.estNS()
+	}
+	return ns
+}
+
+func kernelBusyTotal(c *CPU) Time {
+	return c.Busy(PrioHardIRQ) + c.Busy(PrioSoftIRQ) + c.Busy(PrioKernel)
+}
+
+// Running returns the currently executing task, or nil.
+func (c *CPU) Running() *Task { return c.current }

@@ -1,0 +1,170 @@
+// Package sim implements the discrete-event simulation engine that underlies
+// the capture-system models.
+//
+// The engine is deliberately small: a simulated clock, an event queue ordered
+// by (time, sequence), and a Run loop. Determinism is a hard requirement
+// (the thesis demands reproducible measurements), so ties are broken by
+// insertion order and no real-world time or map iteration order ever leaks
+// into scheduling decisions.
+//
+// CPUs (see cpu.go) are built on top of the event queue and provide
+// priority-scheduled, preemptible execution of work items with cycle-accurate
+// cost accounting.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is simulated time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = time.Duration
+
+const (
+	// Nanosecond .. Second mirror the time package for readability at call
+	// sites that construct simulated durations.
+	Nanosecond  = Time(1)
+	Microsecond = 1000 * Nanosecond
+	Millisecond = 1000 * Microsecond
+	Second      = 1000 * Millisecond
+)
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback.
+type event struct {
+	at     Time
+	seq    uint64 // tie breaker: FIFO among equal times
+	fn     func()
+	cancel bool
+	index  int // heap index
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// EventRef identifies a scheduled event so it can be cancelled.
+type EventRef struct{ ev *event }
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (r EventRef) Cancel() {
+	if r.ev != nil {
+		r.ev.cancel = true
+	}
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now    Time
+	queue  eventQueue
+	seq    uint64
+	nsteps uint64
+}
+
+// New returns an empty simulator at time zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() Time { return s.now }
+
+// Steps reports how many events have been executed so far.
+func (s *Sim) Steps() uint64 { return s.nsteps }
+
+// At schedules fn to run at absolute simulated time at. Scheduling in the
+// past panics: it always indicates a modelling bug.
+func (s *Sim) At(at Time, fn func()) EventRef {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	ev := &event{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return EventRef{ev}
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (s *Sim) After(d Time, fn func()) EventRef {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// RunUntil executes events in order until the queue is empty or the next
+// event is later than limit. The clock is left at the time of the last
+// executed event (or limit if the queue drained earlier than limit but the
+// caller wants a full window; see AdvanceTo).
+func (s *Sim) RunUntil(limit Time) {
+	for len(s.queue) > 0 {
+		next := s.queue[0]
+		if next.at > limit {
+			return
+		}
+		heap.Pop(&s.queue)
+		if next.cancel {
+			continue
+		}
+		s.now = next.at
+		s.nsteps++
+		next.fn()
+	}
+}
+
+// Run executes all events until the queue is empty.
+func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
+
+// AdvanceTo moves the clock to t without executing anything. It panics if
+// events earlier than t are still pending, or if t is in the past.
+func (s *Sim) AdvanceTo(t Time) {
+	if t < s.now {
+		panic("sim: AdvanceTo into the past")
+	}
+	if len(s.queue) > 0 && s.queue[0].at < t && !s.queue[0].cancel {
+		panic("sim: AdvanceTo would skip pending events")
+	}
+	s.now = t
+}
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, ev := range s.queue {
+		if !ev.cancel {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 5 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	// Sample stddev of this classic set is ≈2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if s.Median != 4.5 {
+		t.Fatalf("median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEdge(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty = %+v", s)
+	}
+	s := Summarize([]float64{42})
+	if s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.StdDev != 0 || s.Median != 42 {
+		t.Fatalf("singleton = %+v", s)
+	}
+}
+
+func TestSummarizeProperty(t *testing.T) {
+	f := func(raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			x := float64(v)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			xs[i] = x
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		return s.Min <= s.Median && s.Median <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentAndMbit(t *testing.T) {
+	if Percent(1, 4) != 25 {
+		t.Fatal("percent")
+	}
+	if Percent(1, 0) != 0 {
+		t.Fatal("percent zero total")
+	}
+	if got := MbitPerSec(125_000_000, 1); got != 1000 {
+		t.Fatalf("MbitPerSec = %v", got)
+	}
+	if MbitPerSec(1, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+}

@@ -1,0 +1,229 @@
+// Package testbed models the complete measurement infrastructure of
+// Chapter 3 — not just one system under test, but the whole Figure 3.1
+// setup: the workload generator host (gen), the Cisco monitoring switch
+// with its SNMP packet counters, the passive optical splitter feeding all
+// four sniffers the identical stream, and the control host executing the
+// §3.4 measurement cycle:
+//
+//  1. start the capturing and profiling applications on all sniffers,
+//  2. read the switch's SNMP packet counters,
+//  3. run the packet generation on gen,
+//  4. read the counters again,
+//  5. stop the applications and collect their statistics,
+//
+// repeated several times per data rate "to avoid outliers or unwanted
+// influences".
+//
+// The splitter is realized by replaying the identical deterministic packet
+// train into each sniffer's independent simulator — exactly the guarantee
+// the optical splitter provides ("their only influence is a reduced signal
+// strength", §2.3). The switch counters are the measurement's ground truth
+// for the number of generated packets.
+package testbed
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/cpuprof"
+	"repro/internal/sim"
+)
+
+// SNMPCounters mirrors the switch port counters the control host polls
+// via SNMP before and after each run (§3.4 steps 2 and 4).
+type SNMPCounters struct {
+	InUcastPkts  uint64 // packets received from gen
+	InOctets     uint64
+	OutUcastPkts uint64 // packets mirrored to the splitter port
+	OutOctets    uint64
+}
+
+// Switch is the monitoring switch: it counts what gen sends and mirrors it
+// to the splitter. The VLAN separation of the control traffic (Figure 3.1)
+// means SNMP polling never appears on the measurement port.
+type Switch struct {
+	counters SNMPCounters
+}
+
+// Count registers one forwarded frame.
+func (sw *Switch) Count(frameLen int) {
+	sw.counters.InUcastPkts++
+	sw.counters.InOctets += uint64(frameLen)
+	sw.counters.OutUcastPkts++
+	sw.counters.OutOctets += uint64(frameLen)
+}
+
+// ReadSNMP returns a snapshot of the counters (an SNMP GET of the ifTable
+// entries for the data ports).
+func (sw *Switch) ReadSNMP() SNMPCounters { return sw.counters }
+
+// SnifferResult is what stop.sh collects from one sniffer after a run.
+type SnifferResult struct {
+	Name     string
+	Stats    capture.Stats
+	Usage    []cpuprof.Sample // the cpusage log of the run
+	UsageAvg cpuprof.Sample   // trimusage average over the busy window
+}
+
+// RunResult is one complete measurement cycle iteration.
+type RunResult struct {
+	Rep             int
+	CountersBefore  SNMPCounters
+	CountersAfter   SNMPCounters
+	GeneratedFrames uint64 // from gen's own statistics
+	Sniffers        []SnifferResult
+}
+
+// GeneratedBySwitch returns the ground-truth packet count for the run.
+func (r RunResult) GeneratedBySwitch() uint64 {
+	return r.CountersAfter.OutUcastPkts - r.CountersBefore.OutUcastPkts
+}
+
+// Verify checks the §3.2 requirement that "all generated packets are
+// indeed sent over the fiber": gen's statistics must agree with the
+// switch counters, and every sniffer must have been offered that many
+// packets.
+func (r RunResult) Verify() error {
+	if got := r.GeneratedBySwitch(); got != r.GeneratedFrames {
+		return fmt.Errorf("testbed: switch counted %d packets, gen sent %d", got, r.GeneratedFrames)
+	}
+	for _, s := range r.Sniffers {
+		if s.Stats.Generated != r.GeneratedFrames {
+			return fmt.Errorf("testbed: sniffer %s was offered %d packets, want %d",
+				s.Name, s.Stats.Generated, r.GeneratedFrames)
+		}
+	}
+	return nil
+}
+
+// Testbed is the assembled measurement environment.
+type Testbed struct {
+	Switch   Switch
+	Sniffers []capture.Config
+	Workload core.Workload
+	// ProfileInterval enables cpusage sampling on every sniffer at this
+	// (uncompressed) interval; 0 disables profiling.
+	ProfileInterval sim.Time
+}
+
+// New creates a testbed with the four thesis sniffers and the given
+// workload.
+func New(w core.Workload) *Testbed {
+	return &Testbed{Sniffers: core.Sniffers(), Workload: w}
+}
+
+// RunCycle executes the measurement cycle once (one repetition, one data
+// rate): counters before, generation into all sniffers, counters after,
+// collection. The packet train is drawn once through the switch and
+// replayed identically into each sniffer — the splitter.
+func (tb *Testbed) RunCycle(rep int) (RunResult, error) {
+	w := tb.Workload
+	w.Seed = tb.Workload.Seed + uint64(rep)*7919
+
+	res := RunResult{Rep: rep, CountersBefore: tb.Switch.ReadSNMP()}
+
+	// The switch port sees the train once, regardless of how many sniffers
+	// hang off the splitter.
+	counter := w.Generator()
+	for {
+		p, ok := counter.Next()
+		if !ok {
+			break
+		}
+		tb.Switch.Count(len(p.Data))
+	}
+	res.GeneratedFrames = counter.Sent
+	res.CountersAfter = tb.Switch.ReadSNMP()
+
+	for _, cfg := range tb.Sniffers {
+		sr, err := tb.runSniffer(cfg, w)
+		if err != nil {
+			return res, err
+		}
+		res.Sniffers = append(res.Sniffers, sr)
+	}
+	if err := res.Verify(); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func (tb *Testbed) runSniffer(cfg capture.Config, w core.Workload) (SnifferResult, error) {
+	prepared := core.Prepare(cfg, w)
+	sys := capture.NewSystem(prepared)
+	var sampler *cpuprof.Sampler
+	if tb.ProfileInterval > 0 {
+		scale := float64(w.Packets) / 1_000_000
+		if scale > 1 {
+			scale = 1
+		}
+		interval := sim.Time(float64(tb.ProfileInterval) * scale)
+		if interval < sim.Time(1) {
+			interval = 1
+		}
+		sampler = cpuprof.Attach(sys, interval)
+	}
+	// Each sniffer replays the identical train: a fresh generator with the
+	// same seed is the splitter's second output leg.
+	st := sys.Run(w.Generator())
+	sr := SnifferResult{Name: cfg.Name, Stats: st}
+	if sampler != nil {
+		sr.Usage = sampler.Samples
+		sr.UsageAvg = cpuprof.Summarize(cpuprof.Trim(sampler.Samples, 95)).Avg
+	}
+	return sr, nil
+}
+
+// Measurement aggregates several repetitions at one configuration, the way
+// super.sh loops ("this procedure is repeated several times", §3.4 — seven
+// in the thesis).
+type Measurement struct {
+	Runs []RunResult
+}
+
+// RunMeasurement performs reps full cycles.
+func (tb *Testbed) RunMeasurement(reps int) (Measurement, error) {
+	if reps <= 0 {
+		reps = 1
+	}
+	var m Measurement
+	for rep := 0; rep < reps; rep++ {
+		r, err := tb.RunCycle(rep)
+		if err != nil {
+			return m, err
+		}
+		m.Runs = append(m.Runs, r)
+	}
+	return m, nil
+}
+
+// CaptureRates returns per-sniffer capture rates (percent) across runs.
+func (m Measurement) CaptureRates() map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, run := range m.Runs {
+		for _, s := range run.Sniffers {
+			out[s.Name] = append(out[s.Name], s.Stats.CaptureRate())
+		}
+	}
+	return out
+}
+
+// Report renders the measurement like the thesis's per-run tables.
+func (m Measurement) Report() string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "# rep\tgenerated(switch)\tsniffer\tcaptured\trate%\tcpu%")
+	for _, run := range m.Runs {
+		for _, s := range run.Sniffers {
+			var captured uint64
+			for _, c := range s.Stats.AppCaptured {
+				captured += c
+			}
+			fmt.Fprintf(&b, "%d\t%d\t%s\t%d\t%6.2f\t%6.2f\n",
+				run.Rep, run.GeneratedBySwitch(), s.Name, captured,
+				s.Stats.CaptureRate(), s.Stats.CPUUsage())
+		}
+	}
+	return b.String()
+}

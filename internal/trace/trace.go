@@ -1,0 +1,251 @@
+// Package trace synthesizes workloads shaped like the thesis's 24-hour
+// MWN uplink trace. The thesis only uses the trace's packet-size
+// distribution (type and content of packets do not influence capturing,
+// §3.2), and documents its shape precisely:
+//
+//   - dominant sizes 40, 52 and 1500 bytes, together more than 55 % of all
+//     packets (Figure 4.2);
+//   - the top-20 sizes account for more than 75 %;
+//   - further peaks at 44–64, 552, 576 and 1420–1500 (Figure 4.1);
+//   - a mean packet size of about 645 bytes (§6.3.1);
+//   - no jumbo frames.
+//
+// MWNCounts reproduces exactly that shape deterministically; Synthesize
+// writes a pcap trace drawn from it, so the offline tools (createDist,
+// capture) can be exercised end to end. SelfSimilarArrivals provides the
+// bursty arrival process discussed in §2.5 for the burst-absorption
+// experiments.
+package trace
+
+import (
+	"io"
+	"math"
+	"net/netip"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/pcapfile"
+	"repro/internal/pkt"
+)
+
+// peak is one documented high-frequency packet size.
+type peak struct {
+	size int
+	frac float64
+}
+
+// mwnPeaks lists the top-20 sizes of Figure 4.2 with fractions chosen to
+// satisfy every shape constraint above. The exact per-size fractions below
+// the top three are not published; the values are interpolated to fall off
+// the way the Figure 4.2 histogram does.
+var mwnPeaks = []peak{
+	{40, 0.280},   // bare ACKs (IP total length 40)
+	{52, 0.160},   // ACKs with timestamp option
+	{1500, 0.155}, // full MTU
+	{1420, 0.0200},
+	{552, 0.0180}, // classic BSD default MSS
+	{48, 0.0160},
+	{1492, 0.0150}, // PPPoE MTU
+	{576, 0.0140},  // classic path-MTU default
+	{64, 0.0130},
+	{1300, 0.0120},
+	{1400, 0.0110},
+	{60, 0.0100},
+	{44, 0.0090},
+	{1452, 0.0085},
+	{1454, 0.0080},
+	{57, 0.0075},
+	{1440, 0.0070},
+	{1460, 0.0065},
+	{1470, 0.0060},
+	{1480, 0.0055},
+}
+
+// MWNCounts builds a deterministic size distribution with total packets
+// distributed per the documented MWN shape. Sizes are IP datagram lengths.
+func MWNCounts(total uint64) *dist.Counts {
+	var c dist.Counts
+	if total == 0 {
+		return &c
+	}
+	var peakMass float64
+	for _, p := range mwnPeaks {
+		peakMass += p.frac
+	}
+	assigned := uint64(0)
+	for _, p := range mwnPeaks {
+		n := uint64(p.frac*float64(total) + 0.5)
+		c.Add(p.size, n)
+		assigned += n
+	}
+	// Background: the remaining mass spreads over all sizes 40..1500 with a
+	// bimodal weight (small packets and near-MTU packets dominate real
+	// traffic between the peaks). Deterministic cumulative rounding spreads
+	// the exact remainder.
+	rest := uint64(0)
+	if total > assigned {
+		rest = total - assigned
+	}
+	isPeak := make(map[int]bool, len(mwnPeaks))
+	for _, p := range mwnPeaks {
+		isPeak[p.size] = true
+	}
+	var weights []float64
+	var sizes []int
+	var wsum float64
+	for s := 40; s <= 1500; s++ {
+		if isPeak[s] {
+			continue
+		}
+		w := backgroundWeight(s)
+		sizes = append(sizes, s)
+		weights = append(weights, w)
+		wsum += w
+	}
+	acc := 0.0
+	given := uint64(0)
+	for i, s := range sizes {
+		acc += weights[i] / wsum * float64(rest)
+		n := uint64(acc+0.5) - given
+		if given+n > rest {
+			n = rest - given
+		}
+		if n > 0 {
+			c.Add(s, n)
+			given += n
+		}
+	}
+	if given < rest {
+		c.Add(1500, rest-given)
+	}
+	return &c
+}
+
+// backgroundWeight shapes the non-peak mass: a decaying small-packet mode,
+// a flat middle, and a rising near-MTU mode. The resulting overall mean
+// lands at the documented ≈645 bytes.
+func backgroundWeight(s int) float64 {
+	small := math.Exp(-float64(s-40) / 120.0)
+	large := math.Exp(-float64(1500-s)/90.0) * 1.9
+	return 0.25*small + 0.06 + large
+}
+
+// Synthesize writes n packets drawn from the MWN distribution to w as a
+// pcap file. Packets are UDP frames between the thesis's measurement
+// addresses; frame length = IP length + 14. Arrival times are spaced as if
+// the trace were captured at rate bits/s (0 means 400 Mbit/s, the MWN
+// average). The sizes drawn and the bytes written are fully determined by
+// seed.
+func Synthesize(w io.Writer, n int, seed uint64, rate float64) error {
+	if rate <= 0 {
+		rate = 400e6
+	}
+	counts := MWNCounts(1_000_000)
+	d, err := dist.Build(counts, dist.DefaultParams())
+	if err != nil {
+		return err
+	}
+	rng := dist.NewRNG(seed)
+	pw := pcapfile.NewWriter(w, 65535)
+	var buf [pkt.MaxFrameLen]byte
+	ts := time.Date(2005, time.November, 15, 0, 0, 0, 0, time.UTC)
+	src := netip.MustParseAddr("192.168.10.100")
+	dst := netip.MustParseAddr("192.168.10.12")
+	for i := 0; i < n; i++ {
+		ipLen := d.Sample(rng)
+		frame := pkt.BuildUDP(buf[:], pkt.UDPSpec{
+			SrcMAC: pkt.MAC{0, 0, 0, 0, 0, byte(i % 3)},
+			DstMAC: pkt.MAC{0x00, 0x0e, 0x0c, 0xaa, 0xbb, 0xcc},
+			SrcIP:  src, DstIP: dst,
+			SrcPort: 9, DstPort: 9,
+			FrameLen: ipLen + pkt.EthernetHeaderLen,
+			Seq:      uint32(i),
+		})
+		if err := pw.WritePacket(ts, frame, len(frame)); err != nil {
+			return err
+		}
+		wire := float64(len(frame)+pkt.WireOverhead) * 8
+		ts = ts.Add(time.Duration(wire / rate * 1e9))
+	}
+	return pw.Flush()
+}
+
+// SelfSimilarArrivals generates n inter-arrival gaps (in nanoseconds) from
+// a superposition of on/off sources with Pareto-distributed period lengths
+// (§2.5: self-similar traffic arises from superposed heavy-tailed
+// sources). The gaps average to the given mean but exhibit bursts at all
+// time scales, unlike a Poisson process.
+func SelfSimilarArrivals(n int, meanGapNS float64, sources int, alpha float64, seed uint64) []int64 {
+	if sources <= 0 {
+		sources = 16
+	}
+	if alpha <= 1.0 || alpha >= 2.0 {
+		alpha = 1.5
+	}
+	rng := dist.NewRNG(seed)
+	pareto := func(scale float64) float64 {
+		u := rng.Float64()
+		if u < 1e-12 {
+			u = 1e-12
+		}
+		return scale / math.Pow(u, 1/alpha)
+	}
+	// Each source alternates ON (emitting one packet per slot) and OFF.
+	// Aggregate by walking time in slots and counting active sources.
+	type src struct {
+		on        bool
+		remaining int
+	}
+	srcs := make([]src, sources)
+	meanPeriod := 50.0
+	for i := range srcs {
+		srcs[i].on = rng.Intn(2) == 0
+		srcs[i].remaining = int(pareto(meanPeriod))
+	}
+	// Expected active fraction is 1/2; scale the slot so the average gap
+	// comes out at meanGapNS.
+	slotNS := meanGapNS * float64(sources) / 2
+	gaps := make([]int64, 0, n)
+	carry := 0.0
+	for len(gaps) < n {
+		active := 0
+		for i := range srcs {
+			if srcs[i].on {
+				active++
+			}
+			srcs[i].remaining--
+			if srcs[i].remaining <= 0 {
+				srcs[i].on = !srcs[i].on
+				srcs[i].remaining = int(pareto(meanPeriod))
+			}
+		}
+		if active == 0 {
+			carry += slotNS
+			continue
+		}
+		gap := slotNS/float64(active) + carry/float64(active)
+		carry = 0
+		for k := 0; k < active && len(gaps) < n; k++ {
+			gaps = append(gaps, int64(gap))
+		}
+	}
+	return gaps
+}
+
+// DiurnalRate returns the MWN uplink's documented utilization at a time of
+// day, in bits/s: "from about 220 Mbit/s ... to about 1200 Mbit/s at peak
+// times" (§4.1.4), with the trough in the early morning and the peak in
+// the late afternoon. t is the hour of day in [0, 24).
+func DiurnalRate(hour float64) float64 {
+	for hour < 0 {
+		hour += 24
+	}
+	for hour >= 24 {
+		hour -= 24
+	}
+	// Cosine day shape: minimum 220 Mbit/s at 05:00, maximum 1200 Mbit/s
+	// at 17:00.
+	const lo, hi = 220e6, 1200e6
+	phase := (hour - 5) / 12 * math.Pi
+	return lo + (hi-lo)*(1-math.Cos(phase))/2
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/pcapfile"
+	"repro/internal/pkt"
+)
+
+// TestMWNShape pins every documented property of the thesis trace.
+func TestMWNShape(t *testing.T) {
+	c := MWNCounts(10_000_000)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() != 10_000_000 {
+		t.Fatalf("total = %d", c.Total())
+	}
+
+	top, _ := c.TopShares(20)
+	// "The most frequent sizes can be identified at 40, 52 and 1500 bytes."
+	want3 := map[int]bool{40: true, 52: true, 1500: true}
+	for _, s := range top[:3] {
+		if !want3[s.Size] {
+			t.Errorf("top-3 contains %d, want {40, 52, 1500}", s.Size)
+		}
+	}
+	// "The three most frequently appearing packet sizes represent more than
+	// 55 % of all packets."
+	if top[2].Cumulative <= 0.55 {
+		t.Errorf("top-3 cumulative = %.3f, want > 0.55", top[2].Cumulative)
+	}
+	// "...the top 20 packet sizes account for over 75 % of all packets."
+	if top[19].Cumulative <= 0.75 {
+		t.Errorf("top-20 cumulative = %.3f, want > 0.75", top[19].Cumulative)
+	}
+	// "...given an average packet size of about 645 Bytes." (§6.3.1)
+	if mean := c.Mean(); math.Abs(mean-645) > 25 {
+		t.Errorf("mean = %.1f, want ≈ 645", mean)
+	}
+	// No jumbo frames, nothing below a bare ACK.
+	for _, s := range c.Sizes() {
+		if s < 40 || s > 1500 {
+			t.Fatalf("size %d outside [40, 1500]", s)
+		}
+	}
+}
+
+func TestMWNDeterminism(t *testing.T) {
+	a, b := MWNCounts(123456), MWNCounts(123456)
+	as, bs := a.Sizes(), b.Sizes()
+	if len(as) != len(bs) {
+		t.Fatal("size sets differ")
+	}
+	for i := range as {
+		if as[i] != bs[i] || a.Get(as[i]) != b.Get(bs[i]) {
+			t.Fatal("counts differ between runs")
+		}
+	}
+}
+
+func TestMWNSurvivesTwoStage(t *testing.T) {
+	c := MWNCounts(1_000_000)
+	d, err := dist.Build(c, dist.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The representation's analytic mean must stay near the input mean.
+	if math.Abs(d.Mean()-c.Mean()) > 30 {
+		t.Fatalf("two-stage mean %.1f vs input %.1f", d.Mean(), c.Mean())
+	}
+	// 40/52/1500 must be outliers.
+	got := map[int]bool{}
+	for _, e := range d.Outliers {
+		got[e.Size] = true
+	}
+	for _, s := range []int{40, 52, 1500} {
+		if !got[s] {
+			t.Errorf("size %d not an outlier", s)
+		}
+	}
+}
+
+func TestSynthesizeProducesReadableTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Synthesize(&buf, 500, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	r, err := pcapfile.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var prev int64 = -1
+	for {
+		info, data, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := pkt.Parse(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.IsUDP {
+			t.Fatal("synthesized packet is not UDP")
+		}
+		if int(s.IPv4.Length)+pkt.EthernetHeaderLen != info.CapLen {
+			t.Fatalf("length mismatch: IP %d, frame %d", s.IPv4.Length, info.CapLen)
+		}
+		if ts := info.Timestamp.UnixNano(); ts < prev {
+			t.Fatal("timestamps not monotone")
+		} else {
+			prev = ts
+		}
+		n++
+	}
+	if n != 500 {
+		t.Fatalf("read %d packets, want 500", n)
+	}
+}
+
+func TestSynthesizeDeterminism(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := Synthesize(&a, 200, 42, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Synthesize(&b, 200, 42, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same seed produced different traces")
+	}
+	var c bytes.Buffer
+	if err := Synthesize(&c, 200, 43, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestSelfSimilarArrivals(t *testing.T) {
+	const n = 50000
+	mean := 5000.0 // 5µs
+	gaps := SelfSimilarArrivals(n, mean, 16, 1.5, 11)
+	if len(gaps) != n {
+		t.Fatalf("got %d gaps", len(gaps))
+	}
+	var sum float64
+	for _, g := range gaps {
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		sum += float64(g)
+	}
+	got := sum / n
+	if got < mean/3 || got > mean*3 {
+		t.Fatalf("mean gap = %.0f, want within 3x of %.0f", got, mean)
+	}
+	// Burstiness: the coefficient of variation of per-window counts must
+	// exceed that of a Poisson process at several window sizes (the
+	// self-similarity signature of §2.5).
+	for _, windowGaps := range []int{100, 1000} {
+		var counts []float64
+		idx := 0
+		for idx+windowGaps <= n {
+			var span float64
+			for i := 0; i < windowGaps; i++ {
+				span += float64(gaps[idx+i])
+			}
+			counts = append(counts, span)
+			idx += windowGaps
+		}
+		m, v := meanVar(counts)
+		cv := math.Sqrt(v) / m
+		poissonCV := 1 / math.Sqrt(float64(windowGaps))
+		if cv < poissonCV {
+			t.Errorf("window %d: CV %.4f below Poisson %.4f; no burstiness", windowGaps, cv, poissonCV)
+		}
+	}
+}
+
+func meanVar(xs []float64) (mean, variance float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		variance += (x - mean) * (x - mean)
+	}
+	variance /= float64(len(xs))
+	return
+}
+
+func TestSelfSimilarDeterminism(t *testing.T) {
+	a := SelfSimilarArrivals(1000, 1000, 8, 1.5, 3)
+	b := SelfSimilarArrivals(1000, 1000, 8, 1.5, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	if r := DiurnalRate(5); math.Abs(r-220e6) > 1e3 {
+		t.Fatalf("trough = %v", r)
+	}
+	if r := DiurnalRate(17); math.Abs(r-1200e6) > 1e3 {
+		t.Fatalf("peak = %v", r)
+	}
+	for h := -24.0; h < 48; h += 0.5 {
+		r := DiurnalRate(h)
+		if r < 220e6-1 || r > 1200e6+1 {
+			t.Fatalf("hour %.1f: rate %v out of documented band", h, r)
+		}
+	}
+	// Wrap-around consistency.
+	if DiurnalRate(-1) != DiurnalRate(23) || DiurnalRate(25) != DiurnalRate(1) {
+		t.Fatal("wrap-around broken")
+	}
+}

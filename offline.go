@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/bpf"
+	"repro/internal/filter"
+	"repro/internal/pcapfile"
+)
+
+// PacketInfo describes one captured packet record.
+type PacketInfo = pcapfile.PacketInfo
+
+// Handle is a libpcap-style session over a pcap capture file: sequential
+// packet reads with an optional in-line BPF filter, mirroring
+// pcap_open_offline / pcap_setfilter / pcap_next / pcap_stats.
+type Handle struct {
+	r       *pcapfile.Reader
+	prog    bpf.Program
+	snaplen uint32
+
+	received uint64 // packets returned to the caller
+	filtered uint64 // packets rejected by the filter
+}
+
+// HandleStats mirrors pcap_stats.
+type HandleStats struct {
+	Received uint64
+	Filtered uint64
+}
+
+// OpenOffline opens a pcap stream for reading.
+func OpenOffline(r io.Reader) (*Handle, error) {
+	pr, err := pcapfile.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{r: pr, snaplen: pr.Header().SnapLen}, nil
+}
+
+// Snaplen returns the capture length of the underlying file.
+func (h *Handle) Snaplen() uint32 { return h.snaplen }
+
+// SetFilter compiles and installs a tcpdump-style filter expression;
+// packets it rejects are skipped by ReadPacket.
+func (h *Handle) SetFilter(expr string) error {
+	prog, err := filter.Compile(expr, h.snaplen)
+	if err != nil {
+		return err
+	}
+	h.prog = prog
+	return nil
+}
+
+// SetFilterProgram installs a precompiled BPF program.
+func (h *Handle) SetFilterProgram(p bpf.Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	h.prog = p
+	return nil
+}
+
+// ReadPacket returns the next packet accepted by the filter. The data
+// slice is valid until the next call. io.EOF signals a clean end.
+func (h *Handle) ReadPacket() (PacketInfo, []byte, error) {
+	for {
+		info, data, err := h.r.Next()
+		if err != nil {
+			return PacketInfo{}, nil, err
+		}
+		if h.prog != nil {
+			res, err := h.prog.Run(data)
+			if err != nil {
+				return PacketInfo{}, nil, err
+			}
+			if res.Accept == 0 {
+				h.filtered++
+				continue
+			}
+			if int(res.Accept) < len(data) {
+				data = data[:res.Accept]
+				info.CapLen = len(data)
+			}
+		}
+		h.received++
+		return info, data, nil
+	}
+}
+
+// Stats mirrors pcap_stats for the session so far.
+func (h *Handle) Stats() HandleStats {
+	return HandleStats{Received: h.received, Filtered: h.filtered}
+}
+
+// DumpWriter writes packets to a pcap file (pcap_dump).
+type DumpWriter struct {
+	w *pcapfile.Writer
+}
+
+// NewDumpWriter creates a pcap writer with the given snap length
+// (0 = 65535). Writing only the first bytes of each packet is the
+// thesis's header-trace mode (tsl 76).
+func NewDumpWriter(w io.Writer, snaplen uint32) *DumpWriter {
+	return &DumpWriter{w: pcapfile.NewWriter(w, snaplen)}
+}
+
+// WritePacket appends one packet with its original length.
+func (d *DumpWriter) WritePacket(ts time.Time, data []byte, origLen int) error {
+	return d.w.WritePacket(ts, data, origLen)
+}
+
+// Flush finalizes the file.
+func (d *DumpWriter) Flush() error { return d.w.Flush() }

@@ -1,0 +1,147 @@
+package repro
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRunFacade(t *testing.T) {
+	w := Workload{Packets: 5000, TargetRate: 500e6, Seed: 1}
+	st := Run(Moorhen(), w)
+	if st.CaptureRate() < 99 {
+		t.Fatalf("moorhen capture rate %.2f%% at 500 Mbit/s", st.CaptureRate())
+	}
+	if st.CPUUsage() <= 0 || st.CPUUsage() >= 100 {
+		t.Fatalf("cpu usage %.2f%%", st.CPUUsage())
+	}
+}
+
+func TestSweepFacade(t *testing.T) {
+	series := Sweep([]Config{Swan()}, []float64{200}, Workload{Packets: 3000, Seed: 2}, 1)
+	if len(series) != 1 || len(series[0].Points) != 1 {
+		t.Fatalf("series = %+v", series)
+	}
+	tbl := FormatTable("x", series)
+	if len(tbl) == 0 {
+		t.Fatal("empty table")
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	out, err := RunExperiment("fig4.2", ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty experiment output")
+	}
+	if _, err := RunExperiment("missing", ExperimentOptions{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Experiments()) < 25 {
+		t.Fatalf("only %d experiments", len(Experiments()))
+	}
+}
+
+func TestCompileFilterFacade(t *testing.T) {
+	prog, err := CompileFilter(ReferenceFilter, 1515)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog) != 50 {
+		t.Fatalf("reference filter = %d instructions, want 50", len(prog))
+	}
+}
+
+func TestOfflineHandle(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SynthesizeTrace(&buf, 300, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenOffline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetFilter("udp"); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var out bytes.Buffer
+	dw := NewDumpWriter(&out, 76)
+	for {
+		info, data, err := h.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dw.WritePacket(info.Timestamp, data, info.OrigLen); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if err := dw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 300 {
+		t.Fatalf("read %d packets, want 300", n)
+	}
+	if st := h.Stats(); st.Received != 300 || st.Filtered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// The re-dumped trace is truncated to 76 bytes.
+	h2, err := OpenOffline(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, data, err := h2.ReadPacket()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) > 76 || info.OrigLen < len(data) {
+		t.Fatalf("truncation broken: caplen %d orig %d", len(data), info.OrigLen)
+	}
+}
+
+func TestOfflineFilterRejects(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SynthesizeTrace(&buf, 100, 7, 0); err != nil {
+		t.Fatal(err)
+	}
+	h, err := OpenOffline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetFilter("tcp"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.ReadPacket(); err != io.EOF {
+		t.Fatalf("tcp filter over UDP trace returned %v, want EOF", err)
+	}
+	if st := h.Stats(); st.Filtered != 100 {
+		t.Fatalf("filtered = %d, want 100", st.Filtered)
+	}
+}
+
+func TestMWNDistributionFacade(t *testing.T) {
+	d, err := MWNDistribution()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := d.Mean(); m < 600 || m > 700 {
+		t.Fatalf("mean = %.1f", m)
+	}
+}
+
+func TestBadFilterExpr(t *testing.T) {
+	h := &Handle{snaplen: 96}
+	if err := h.SetFilter("syntactically (wrong"); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	if err := h.SetFilterProgram(nil); err == nil {
+		t.Fatal("nil program accepted")
+	}
+}

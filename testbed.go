@@ -1,0 +1,36 @@
+package repro
+
+import (
+	"time"
+
+	"repro/internal/flows"
+	"repro/internal/sim"
+	"repro/internal/testbed"
+)
+
+// Testbed is the complete Figure 3.1 measurement infrastructure: the
+// generator host, the monitoring switch with SNMP counters, the optical
+// splitter and the four sniffers, driven by the §3.4 measurement cycle.
+type Testbed = testbed.Testbed
+
+// Measurement aggregates repeated testbed cycles.
+type Measurement = testbed.Measurement
+
+// NewTestbed creates a testbed with the four thesis sniffers and the
+// given workload. Set ProfileInterval to enable cpusage sampling.
+func NewTestbed(w Workload) *Testbed { return testbed.New(w) }
+
+// ProfileEveryHalfSecond is the cpusage default sampling interval, for use
+// as Testbed.ProfileInterval (it is time-compressed with the workload).
+const ProfileEveryHalfSecond = 500 * sim.Millisecond
+
+// FlowTable accounts captured packets per flow (the NIDS-style consumer
+// the thesis motivates). bidirectional folds both directions of a
+// connection into one flow.
+type FlowTable = flows.Table
+
+// NewFlowTable creates an empty flow table.
+func NewFlowTable(bidirectional bool) *FlowTable { return flows.New(bidirectional) }
+
+// ObserveFlow is a convenience wrapper: account one captured frame.
+func ObserveFlow(t *FlowTable, ts time.Time, frame []byte) { t.Observe(ts, frame) }
