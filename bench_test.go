@@ -150,6 +150,27 @@ func BenchmarkPktgenNext(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepSerial vs BenchmarkSweepParallel document the speedup of
+// the parallel sweep engine. Both run the identical cell set (4 systems ×
+// 4 rates × 2 reps); the parallel variant uses one worker per CPU. The
+// output tables are byte-identical (see TestParallelSweepDeterminism).
+func benchSweep(b *testing.B, workers int) {
+	b.Helper()
+	cfgs := Sniffers()
+	w := Workload{Packets: 4000, Seed: 1}
+	rates := []float64{200, 500, 800, 950}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := SweepParallel(cfgs, rates, w, 2, workers)
+		if len(s) != 4 {
+			b.Fatalf("got %d series", len(s))
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)   { benchSweep(b, 0) }
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, -1) }
+
 func BenchmarkSimulatedCaptureRun(b *testing.B) {
 	w := Workload{Packets: 5000, TargetRate: 800e6, Seed: 1}
 	b.ResetTimer()

@@ -3,6 +3,7 @@
 //
 //	experiment -list
 //	experiment -id fig6.3-smp -packets 100000 -reps 3
+//	experiment -id fig6.3-smp -parallel -1   # all CPUs, identical output
 //	experiment -all -packets 40000 > results.txt
 package main
 
@@ -25,12 +26,13 @@ func main() {
 		packets = flag.Int("packets", 40_000, "packets per run (thesis: 1000000)")
 		reps    = flag.Int("reps", 1, "repetitions per point (thesis: 7)")
 		seed    = flag.Uint64("seed", 1, "base random seed")
-		rates   = flag.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
-		gpDir   = flag.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
+		rates    = flag.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
+		parallel = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
+		gpDir    = flag.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed}
+	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed, Parallelism: *parallel}
 	if *rates != "" {
 		for _, f := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)

@@ -7,6 +7,16 @@ import (
 	"repro/internal/sim"
 )
 
+// Source produces the packet train a run consumes. *pktgen.Generator is
+// the canonical implementation; core.Feed replays a train recorded once —
+// the splitter semantics of Figure 3.1, where every sniffer sees the
+// byte-identical input. Reset rewinds the source to the start of its
+// train; Next returns packets in arrival order.
+type Source interface {
+	Reset()
+	Next() (pktgen.Packet, bool)
+}
+
 // stack is the OS-specific half of the receive path.
 type stack interface {
 	// irqCost prices the interrupt-context work for one packet (beyond
@@ -237,11 +247,17 @@ func (s *System) RunWithArrivals(gen *pktgen.Generator, gapsNS []int64) Stats {
 // generation has finished and everything buffered has been read), and
 // returns the run statistics.
 func (s *System) Run(gen *pktgen.Generator) Stats {
-	return s.run(gen, func(p pktgen.Packet) sim.Time { return p.At })
+	return s.RunSource(gen)
 }
 
-func (s *System) run(gen *pktgen.Generator, arrivalAt func(pktgen.Packet) sim.Time) Stats {
-	gen.Reset()
+// RunSource is Run for any packet source, e.g. a recorded splitter feed
+// replayed into several systems.
+func (s *System) RunSource(src Source) Stats {
+	return s.run(src, func(p pktgen.Packet) sim.Time { return p.At })
+}
+
+func (s *System) run(src Source, arrivalAt func(pktgen.Packet) sim.Time) Stats {
+	src.Reset()
 	s.running = true
 	s.genDone = false
 	s.startHousekeeping()
@@ -251,9 +267,10 @@ func (s *System) run(gen *pktgen.Generator, arrivalAt func(pktgen.Packet) sim.Ti
 		s.stack.appStart(a)
 	}
 
+	var sent uint64
 	var feed func()
 	feed = func() {
-		p, ok := gen.Next()
+		p, ok := src.Next()
 		if !ok {
 			s.genDone = true
 			s.genEnd = s.Sim.Now()
@@ -267,6 +284,7 @@ func (s *System) run(gen *pktgen.Generator, arrivalAt func(pktgen.Packet) sim.Ti
 			}
 			return
 		}
+		sent++
 		s.Sim.At(arrivalAt(p), func() {
 			s.NIC.Arrive(p.Data)
 			feed()
@@ -294,12 +312,12 @@ func (s *System) run(gen *pktgen.Generator, arrivalAt func(pktgen.Packet) sim.Ti
 	// Let any residual events (cancelled housekeeping re-arms) run out.
 	s.Sim.Run()
 
-	return s.collectStats(gen)
+	return s.collectStats(sent)
 }
 
-func (s *System) collectStats(gen *pktgen.Generator) Stats {
+func (s *System) collectStats(generated uint64) Stats {
 	st := Stats{
-		Generated: gen.Sent,
+		Generated: generated,
 		NICDrops:  s.NIC.Drops,
 		CPUCount:  len(s.Machine.CPUs),
 	}

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"math"
+	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/capture"
@@ -171,33 +173,24 @@ type Series struct {
 // SweepRates runs the full measurement cycle of §3.4 for each system over
 // the data rates (Mbit/s), repeating each point reps times with distinct
 // seeds and averaging — the thesis repeats each point seven times "to
-// avoid outliers".
+// avoid outliers". It is the serial entry point; SweepRatesParallel
+// (parallel.go) runs the same cells on a worker pool with byte-identical
+// output.
 func SweepRates(cfgs []capture.Config, ratesMbit []float64, w Workload, reps int) []Series {
-	if reps <= 0 {
-		reps = 1
-	}
-	out := make([]Series, len(cfgs))
-	for i, cfg := range cfgs {
-		out[i].System = cfg.Name
-		for _, r := range ratesMbit {
-			wl := w
-			wl.TargetRate = r * 1e6
-			pt := runPoint(cfg, wl, reps)
-			pt.X = r
-			out[i].Points = append(out[i].Points, pt)
-		}
-	}
-	return out
+	return SweepRatesParallel(cfgs, ratesMbit, w, reps, 0)
 }
 
-// runPoint aggregates reps runs at one configuration.
-func runPoint(cfg capture.Config, w Workload, reps int) Point {
-	pt := Point{System: cfg.Name, RateMin: 200, RateMax: -1}
+// aggregatePoint folds the per-repetition statistics of one cell column
+// into a plotted point. The runs arrive in repetition order, so the
+// floating-point accumulation is deterministic.
+func aggregatePoint(system string, runs []capture.Stats) Point {
+	pt := Point{System: system, RateMin: math.Inf(1), RateMax: math.Inf(-1)}
+	if len(runs) == 0 {
+		pt.RateMin, pt.RateMax = 0, 0
+		return pt
+	}
 	var worstS, avgS, bestS, cpuS float64
-	for rep := 0; rep < reps; rep++ {
-		wl := w
-		wl.Seed = w.Seed + uint64(rep)*7919
-		st := RunOnce(cfg, wl)
+	for _, st := range runs {
 		r := st.CaptureRate()
 		pt.Rate += r
 		if r < pt.RateMin {
@@ -213,7 +206,7 @@ func runPoint(cfg capture.Config, w Workload, reps int) Point {
 		cpuS += st.CPUUsage()
 		pt.Generated = st.Generated
 	}
-	n := float64(reps)
+	n := float64(len(runs))
 	pt.Rate /= n
 	pt.Worst, pt.Avg, pt.Best = worstS/n, avgS/n, bestS/n
 	pt.CPU = cpuS / n
@@ -223,22 +216,23 @@ func runPoint(cfg capture.Config, w Workload, reps int) Point {
 // FormatTable renders series the way the thesis plots read: one row per x
 // value, one rate/CPU column pair per system.
 func FormatTable(title string, series []Series) string {
-	out := fmt.Sprintf("# %s\n", title)
+	var out strings.Builder
+	fmt.Fprintf(&out, "# %s\n", title)
 	if len(series) == 0 {
-		return out
+		return out.String()
 	}
-	out += "# x"
+	out.WriteString("# x")
 	for _, s := range series {
-		out += fmt.Sprintf("\t%s:rate%%\t%s:cpu%%", s.System, s.System)
+		fmt.Fprintf(&out, "\t%s:rate%%\t%s:cpu%%", s.System, s.System)
 	}
-	out += "\n"
+	out.WriteByte('\n')
 	for i := range series[0].Points {
-		out += fmt.Sprintf("%.0f", series[0].Points[i].X)
+		fmt.Fprintf(&out, "%.0f", series[0].Points[i].X)
 		for _, s := range series {
 			p := s.Points[i]
-			out += fmt.Sprintf("\t%6.2f\t%6.2f", p.Rate, p.CPU)
+			fmt.Fprintf(&out, "\t%6.2f\t%6.2f", p.Rate, p.CPU)
 		}
-		out += "\n"
+		out.WriteByte('\n')
 	}
-	return out
+	return out.String()
 }

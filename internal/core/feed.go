@@ -1,0 +1,146 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/capture"
+	"repro/internal/pktgen"
+	"repro/internal/sim"
+)
+
+// Feed is one recorded packet train: what the optical splitter of Figure
+// 3.1 delivers identically to every sniffer. For a given (Packets,
+// TargetRate, Seed, FixedSize) the enhanced pktgen is fully deterministic,
+// so recording the train once and replaying it into each system is not an
+// approximation of the testbed — it *is* the testbed: the thesis generates
+// each train exactly once and the splitter fans it out.
+//
+// A Feed is immutable after RecordFeed returns. The Data slices are shared
+// with the generator's frame cache and must not be written (the same
+// contract pktgen.Packet states), which makes concurrent replay into
+// several systems safe.
+type Feed struct {
+	Workload Workload
+	Packets  []pktgen.Packet
+
+	// Ground-truth counters, the role the switch's port counters play in
+	// §3.2: the generated packet and byte counts the capture results are
+	// normalized against.
+	Sent      uint64
+	SentBytes uint64 // frame bytes (excluding preamble/FCS/IFG)
+	WireBytes uint64 // including per-frame wire overhead
+	LastTime  sim.Time
+}
+
+// RecordFeed runs the workload's generator once and records the train.
+func RecordFeed(w Workload) *Feed {
+	g := w.Generator()
+	g.Reset()
+	f := &Feed{Workload: w}
+	if w.Packets > 0 {
+		f.Packets = make([]pktgen.Packet, 0, w.Packets)
+	}
+	for {
+		p, ok := g.Next()
+		if !ok {
+			break
+		}
+		f.Packets = append(f.Packets, p)
+	}
+	f.Sent, f.SentBytes, f.WireBytes = g.Sent, g.SentBytes, g.WireBytes
+	f.LastTime = g.LastTime
+	return f
+}
+
+// Replay returns a fresh Source emitting the recorded train. Each call
+// returns an independent cursor, so one feed can drive many systems —
+// concurrently, since replay only reads the feed.
+func (f *Feed) Replay() capture.Source { return &feedSource{f: f} }
+
+type feedSource struct {
+	f *Feed
+	i int
+}
+
+func (s *feedSource) Reset() { s.i = 0 }
+
+func (s *feedSource) Next() (pktgen.Packet, bool) {
+	if s.i >= len(s.f.Packets) {
+		return pktgen.Packet{}, false
+	}
+	p := s.f.Packets[s.i]
+	s.i++
+	return p, true
+}
+
+// DefaultFeedCacheSize bounds how many recorded trains a sweep holds at
+// once. Cells are scheduled column-major (all systems of one (rate, rep)
+// column together), so a small cache suffices for sweeps of any width.
+const DefaultFeedCacheSize = 32
+
+// FeedCache is a bounded, mutex-guarded LRU of recorded feeds keyed by the
+// workload fingerprint. Concurrent Gets for the same workload share a
+// single recording (the losers block until the winner's generator run
+// completes) instead of generating the train once per sniffer.
+type FeedCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *feedEntry
+	entries map[Workload]*feedEntry
+	hits    uint64
+	misses  uint64
+}
+
+type feedEntry struct {
+	key  Workload
+	elem *list.Element
+	once sync.Once
+	feed *Feed
+}
+
+// NewFeedCache returns a cache holding at most max feeds (≤0 selects
+// DefaultFeedCacheSize).
+func NewFeedCache(max int) *FeedCache {
+	if max <= 0 {
+		max = DefaultFeedCacheSize
+	}
+	return &FeedCache{
+		max:     max,
+		order:   list.New(),
+		entries: make(map[Workload]*feedEntry),
+	}
+}
+
+// Get returns the feed for w, recording it on first use.
+func (c *FeedCache) Get(w Workload) *Feed {
+	c.mu.Lock()
+	e, ok := c.entries[w]
+	if ok {
+		c.order.MoveToFront(e.elem)
+		c.hits++
+	} else {
+		e = &feedEntry{key: w}
+		e.elem = c.order.PushFront(e)
+		c.entries[w] = e
+		c.misses++
+		for c.order.Len() > c.max {
+			back := c.order.Back()
+			evicted := back.Value.(*feedEntry)
+			c.order.Remove(back)
+			delete(c.entries, evicted.key)
+		}
+	}
+	c.mu.Unlock()
+	// Record outside the cache lock: other columns proceed while this
+	// train is generated; co-column callers block on the entry's once.
+	e.once.Do(func() { e.feed = RecordFeed(w) })
+	return e.feed
+}
+
+// Counters reports cache hits and misses (a miss records a feed).
+func (c *FeedCache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,127 @@
+// Parallel measurement engine. The testbed is embarrassingly parallel by
+// construction: the splitter feeds the same train to all sniffers at once,
+// and every (system, rate, repetition) point is an independent run with its
+// own simulator. The engine decomposes a sweep into such cells, records
+// each train once (feed.go), runs the cells on a worker pool, and
+// reassembles the series in the fixed plotting order — so the output is
+// byte-identical to the serial path for any worker count.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/capture"
+)
+
+// repSeedStride separates the seeds of successive repetitions of one point
+// (the thesis repeats each point with distinct packet trains).
+const repSeedStride = 7919
+
+// Cell is one independent measurement: one system fed one workload.
+type Cell struct {
+	Cfg capture.Config
+	W   Workload
+}
+
+// Workers resolves a parallelism knob to a worker count: 0 keeps the
+// serial path, negative values use one worker per CPU, positive values are
+// taken as-is.
+func Workers(parallelism int) int {
+	if parallelism < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// RunCells executes independent measurement cells and returns their
+// statistics in cell order. workers follows the Workers convention
+// (0 = serial). Cells with an identical Workload share one recorded feed
+// regardless of worker count, so a four-sniffer column generates its train
+// exactly once — the splitter semantics of Figure 3.1.
+//
+// Each cell owns a private sim.Sim (built by capture.NewSystem); the only
+// state crossing goroutines is the immutable feed and the result slot.
+func RunCells(cells []Cell, workers int) []capture.Stats {
+	results := make([]capture.Stats, len(cells))
+	feeds := NewFeedCache(DefaultFeedCacheSize)
+	runCell := func(i int) {
+		c := cells[i]
+		sys := capture.NewSystem(Prepare(c.Cfg, c.W))
+		results[i] = sys.RunSource(feeds.Get(c.W).Replay())
+	}
+
+	workers = Workers(workers)
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	if workers <= 1 {
+		// Serial fallback (and the degenerate one-worker pool): same code
+		// path as the pool body, no goroutines.
+		for i := range cells {
+			runCell(i)
+		}
+		return results
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runCell(i)
+			}
+		}()
+	}
+	for i := range cells {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}
+
+// SweepRatesParallel is SweepRates with the measurement cells distributed
+// over a worker pool (workers per the Workers convention; 0 = serial).
+// Results are reassembled in the fixed plotting order, so FormatTable
+// output is byte-identical regardless of worker count or completion order.
+func SweepRatesParallel(cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int) []Series {
+	if reps <= 0 {
+		reps = 1
+	}
+	// Column-major cell order: the systems of one (rate, rep) column are
+	// adjacent, so they replay the column's feed while it is hot in the
+	// LRU and workers draining nearby indices share one recording.
+	cells := make([]Cell, 0, len(ratesMbit)*reps*len(cfgs))
+	for _, r := range ratesMbit {
+		for rep := 0; rep < reps; rep++ {
+			wl := w
+			wl.TargetRate = r * 1e6
+			wl.Seed = w.Seed + uint64(rep)*repSeedStride
+			for _, cfg := range cfgs {
+				cells = append(cells, Cell{Cfg: cfg, W: wl})
+			}
+		}
+	}
+	stats := RunCells(cells, workers)
+
+	out := make([]Series, len(cfgs))
+	runs := make([]capture.Stats, reps)
+	for i, cfg := range cfgs {
+		out[i].System = cfg.Name
+		out[i].Points = make([]Point, 0, len(ratesMbit))
+		for ri, r := range ratesMbit {
+			// Aggregate in repetition order: floating-point sums stay
+			// identical no matter which worker finished first.
+			for rep := 0; rep < reps; rep++ {
+				runs[rep] = stats[(ri*reps+rep)*len(cfgs)+i]
+			}
+			pt := aggregatePoint(cfg.Name, runs)
+			pt.X = r
+			out[i].Points = append(out[i].Points, pt)
+		}
+	}
+	return out
+}

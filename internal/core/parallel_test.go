@@ -1,0 +1,85 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/capture"
+)
+
+// TestSweepParallelMatchesSerial is the engine's hard invariant: for any
+// worker count, the reassembled series — and hence the formatted table —
+// are byte-identical to the serial path.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	cfgs := Sniffers()
+	w := Workload{Packets: 2500, Seed: 5}
+	rates := []float64{150, 450, 900}
+	serial := SweepRatesParallel(cfgs, rates, w, 2, 0)
+	serialTbl := FormatTable("t", serial)
+	for _, workers := range []int{1, 3, 8, -1} {
+		par := SweepRatesParallel(cfgs, rates, w, 2, workers)
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: series differ from serial", workers)
+		}
+		if tbl := FormatTable("t", par); tbl != serialTbl {
+			t.Fatalf("workers=%d: formatted table differs:\n%s\nvs\n%s", workers, tbl, serialTbl)
+		}
+	}
+}
+
+// TestSweepSerialDelegationUnchanged: the SweepRates facade and the engine
+// agree (SweepRates is the workers=0 case).
+func TestSweepSerialDelegationUnchanged(t *testing.T) {
+	cfgs := []capture.Config{Swan()}
+	w := Workload{Packets: 2000, Seed: 9}
+	a := SweepRates(cfgs, []float64{300, 800}, w, 2)
+	b := SweepRatesParallel(cfgs, []float64{300, 800}, w, 2, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SweepRates differs from the parallel engine")
+	}
+}
+
+func TestRunCellsOrderAndFeedSharing(t *testing.T) {
+	w := Workload{Packets: 1500, Seed: 4, TargetRate: 6e8}
+	var cells []Cell
+	for _, cfg := range Sniffers() {
+		cells = append(cells, Cell{Cfg: cfg, W: w})
+	}
+	stats := RunCells(cells, 4)
+	if len(stats) != len(cells) {
+		t.Fatalf("got %d results for %d cells", len(stats), len(cells))
+	}
+	for i, st := range stats {
+		want := RunOnce(cells[i].Cfg, cells[i].W)
+		if !reflect.DeepEqual(st, want) {
+			t.Errorf("cell %d (%s): parallel result differs from direct run", i, cells[i].Cfg.Name)
+		}
+	}
+}
+
+func TestAggregateDefensive(t *testing.T) {
+	// reps == 0 must not divide by zero or leave the ±Inf sentinels behind.
+	pt := aggregatePoint("x", nil)
+	if pt.RateMin != 0 || pt.RateMax != 0 || pt.Rate != 0 {
+		t.Fatalf("empty aggregation not zeroed: %+v", pt)
+	}
+	// A 100%-capture run must be representable (the old sentinel was an
+	// arbitrary 200 that only worked because rates are percentages).
+	st := RunOnce(Moorhen(), Workload{Packets: 2000, Seed: 1, TargetRate: 1e8})
+	agg := aggregatePoint("moorhen", []capture.Stats{st})
+	if agg.RateMin != agg.RateMax || agg.RateMin != st.CaptureRate() {
+		t.Fatalf("single-run aggregation: %+v vs rate %.2f", agg, st.CaptureRate())
+	}
+}
+
+func TestWorkersConvention(t *testing.T) {
+	if Workers(0) != 0 {
+		t.Fatal("Workers(0) must keep the serial path")
+	}
+	if Workers(3) != 3 {
+		t.Fatal("Workers(n) must be n")
+	}
+	if Workers(-1) < 1 {
+		t.Fatal("Workers(<0) must resolve to at least one CPU")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -26,6 +27,10 @@ type Options struct {
 	Reps    int       // repetitions per point (thesis: 7)
 	Seed    uint64    // base seed
 	Rates   []float64 // data-rate sweep in Mbit/s (default 50..950 step 50)
+	// Parallelism distributes the independent measurement cells of a sweep
+	// over worker goroutines: 0 = serial, <0 = one worker per CPU, >0 =
+	// exactly that many. Output is byte-identical for any value.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -169,7 +174,7 @@ func sweep(mods ...modifier) func(o Options) string {
 		o = o.withDefaults()
 		cfgs := systems(mods...)
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-		series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+		series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 		return core.FormatTable("capturing rate and CPU usage vs data rate [Mbit/s]", series)
 	}
 }
@@ -190,10 +195,11 @@ func systems(mods ...modifier) []capture.Config {
 func bufferSweep(cpuMod modifier) func(o Options) string {
 	return func(o Options) string {
 		o = o.withDefaults()
-		var out strings.Builder
-		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
-		fmt.Fprintln(&out, "# kB\tsystem\trate%\tcpu%")
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
+		var cells []core.Cell
+		var kbs []int
 		for kb := 128; kb <= 262144; kb *= 2 {
+			kbs = append(kbs, kb)
 			for _, base := range systems(cpuMod) {
 				cfg := base
 				if cfg.OS == capture.Linux {
@@ -201,10 +207,16 @@ func bufferSweep(cpuMod modifier) func(o Options) string {
 				} else {
 					cfg.BufferBytes = kb << 10 / 2
 				}
-				w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
-				st := core.RunOnce(cfg, w)
-				fmt.Fprintf(&out, "%d\t%s\t%6.2f\t%6.2f\n", kb, cfg.Name, st.CaptureRate(), st.CPUUsage())
+				cells = append(cells, core.Cell{Cfg: cfg, W: w})
 			}
+		}
+		stats := core.RunCells(cells, o.Parallelism)
+		var out strings.Builder
+		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
+		fmt.Fprintln(&out, "# kB\tsystem\trate%\tcpu%")
+		for i, st := range stats {
+			fmt.Fprintf(&out, "%d\t%s\t%6.2f\t%6.2f\n",
+				kbs[i/len(systems(cpuMod))], cells[i].Cfg.Name, st.CaptureRate(), st.CPUUsage())
 		}
 		return out.String()
 	}
@@ -215,19 +227,24 @@ func bufferSweep(cpuMod modifier) func(o Options) string {
 func multiApp(n int) func(o Options) string {
 	return func(o Options) string {
 		o = o.withDefaults()
-		var out strings.Builder
-		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
-		fmt.Fprintln(&out, "# rate\tsystem\tworst%\tavg%\tbest%\tcpu%")
+		var cells []core.Cell
 		for _, r := range o.Rates {
+			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
 			for _, base := range systems(bigBuffers, dual) {
 				cfg := base
 				cfg.NumApps = n
-				w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
-				st := core.RunOnce(cfg, w)
-				wo, av, be := st.AppRates()
-				fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%6.2f\n",
-					r, cfg.Name, wo, av, be, st.CPUUsage())
+				cells = append(cells, core.Cell{Cfg: cfg, W: w})
 			}
+		}
+		stats := core.RunCells(cells, o.Parallelism)
+		nsys := len(systems(bigBuffers, dual))
+		var out strings.Builder
+		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
+		fmt.Fprintln(&out, "# rate\tsystem\tworst%\tavg%\tbest%\tcpu%")
+		for i, st := range stats {
+			wo, av, be := st.AppRates()
+			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%6.2f\n",
+				o.Rates[i/nsys], cells[i].Cfg.Name, wo, av, be, st.CPUUsage())
 		}
 		return out.String()
 	}
@@ -247,7 +264,7 @@ func mmapCompare(cpuMod modifier) func(o Options) string {
 			cfgs = append(cfgs, stock, patched)
 		}
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-		series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+		series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 		return core.FormatTable("mmap'd libpcap vs stock on Linux", series)
 	}
 }
@@ -265,7 +282,7 @@ func runHyperthreading(o Options) string {
 		cfgs = append(cfgs, off, on)
 	}
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 	return core.FormatTable("Hyperthreading on vs off (Intel Xeon systems)", series)
 }
 
@@ -286,7 +303,7 @@ func runOSVersion(o Options) string {
 		cfgs = append(cfgs, v54, v521)
 	}
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 	return core.FormatTable("FreeBSD 5.4 vs 5.2.1", series)
 }
 
@@ -428,16 +445,19 @@ func runArrival(o Options, rateMbit float64, bursty bool) float64 {
 	return st.CaptureRate()
 }
 
-var mwnCached *dist.Distribution
+var (
+	mwnOnce   sync.Once
+	mwnCached *dist.Distribution
+)
 
 func mwnDist() *dist.Distribution {
-	if mwnCached == nil {
+	mwnOnce.Do(func() {
 		d, err := dist.Build(trace.MWNCounts(1_000_000), dist.DefaultParams())
 		if err != nil {
 			panic(err)
 		}
 		mwnCached = d
-	}
+	})
 	return mwnCached
 }
 

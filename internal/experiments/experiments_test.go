@@ -64,3 +64,32 @@ func TestExperimentIndexCoversPaper(t *testing.T) {
 		}
 	}
 }
+
+// TestParallelSweepDeterminism pins the engine's hard invariant at the
+// experiment level: a representative sweep renders byte-identical output
+// for Parallelism 0 (serial), 1, 4 and 8.
+func TestParallelSweepDeterminism(t *testing.T) {
+	for _, id := range []string{"fig6.2-smp", "fig6.7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Find(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := Options{Packets: 2000, Reps: 2, Seed: 1, Rates: []float64{200, 600, 950}}
+			var want string
+			for _, p := range []int{0, 1, 4, 8} {
+				o.Parallelism = p
+				got := e.Run(o)
+				if p == 0 {
+					want = got
+					continue
+				}
+				if got != want {
+					t.Fatalf("Parallelism=%d output differs from serial:\n%s\nvs\n%s", p, got, want)
+				}
+			}
+		})
+	}
+}

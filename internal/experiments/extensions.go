@@ -42,7 +42,7 @@ func runPFRing(o Options) string {
 		cfgs = append(cfgs, stock, mmap, ring)
 	}
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 	return core.FormatTable("stock vs PACKET_MMAP vs ring stack (Linux, single CPU)", series)
 }
 
@@ -60,7 +60,7 @@ func runBSDMmap(o Options) string {
 		cfgs = append(cfgs, stock, mm)
 	}
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRates(cfgs, o.Rates, w, o.Reps)
+	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
 	return core.FormatTable("FreeBSD stock vs memory-mapped read (single CPU)", series)
 }
 

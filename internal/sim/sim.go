@@ -38,13 +38,17 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Event structs are single-owner and pooled
+// on a per-Sim free list: once popped from the queue they are recycled
+// immediately, so the hot path allocates nothing in steady state. The
+// generation counter invalidates EventRefs to recycled structs.
 type event struct {
 	at     Time
 	seq    uint64 // tie breaker: FIFO among equal times
 	fn     func()
 	cancel bool
-	index  int // heap index
+	index  int    // heap index
+	gen    uint64 // bumped on recycle; stale EventRefs miscompare
 }
 
 type eventQueue []*event
@@ -76,12 +80,16 @@ func (q *eventQueue) Pop() any {
 }
 
 // EventRef identifies a scheduled event so it can be cancelled.
-type EventRef struct{ ev *event }
+type EventRef struct {
+	ev  *event
+	gen uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op: the generation counter detects that
+// the underlying struct has been recycled for a newer event.
 func (r EventRef) Cancel() {
-	if r.ev != nil {
+	if r.ev != nil && r.ev.gen == r.gen {
 		r.ev.cancel = true
 	}
 }
@@ -92,10 +100,40 @@ type Sim struct {
 	queue  eventQueue
 	seq    uint64
 	nsteps uint64
+	free   []*event // recycled event structs (single-owner pool)
 }
 
+// initialQueueCap pre-sizes the event heap and the free list so short runs
+// never re-grow them and long runs amortize growth to zero.
+const initialQueueCap = 256
+
 // New returns an empty simulator at time zero.
-func New() *Sim { return &Sim{} }
+func New() *Sim {
+	return &Sim{
+		queue: make(eventQueue, 0, initialQueueCap),
+		free:  make([]*event, 0, initialQueueCap),
+	}
+}
+
+// alloc takes an event struct off the free list, or makes a new one if the
+// pool is dry (only while the in-flight high-water mark is still growing).
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		ev := s.free[n-1]
+		s.free = s.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a popped event to the pool. Bumping the generation first
+// turns any EventRef still pointing here into a no-op.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.cancel = false
+	s.free = append(s.free, ev)
+}
 
 // Now returns the current simulated time.
 func (s *Sim) Now() Time { return s.now }
@@ -109,10 +147,11 @@ func (s *Sim) At(at Time, fn func()) EventRef {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
+	ev := s.alloc()
+	ev.at, ev.seq, ev.fn = at, s.seq, fn
 	s.seq++
 	heap.Push(&s.queue, ev)
-	return EventRef{ev}
+	return EventRef{ev, ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
@@ -134,12 +173,16 @@ func (s *Sim) RunUntil(limit Time) {
 			return
 		}
 		heap.Pop(&s.queue)
-		if next.cancel {
+		// Recycle before running the callback: a popped event can never
+		// fire again, and fn may schedule new events that reuse the struct.
+		at, fn, cancelled := next.at, next.fn, next.cancel
+		s.recycle(next)
+		if cancelled {
 			continue
 		}
-		s.now = next.at
+		s.now = at
 		s.nsteps++
-		next.fn()
+		fn()
 	}
 }
 

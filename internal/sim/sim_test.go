@@ -394,3 +394,69 @@ func TestPreemptAtCompletionInstantDoesNotRerun(t *testing.T) {
 		t.Fatalf("busy = %v, want ≈150 (no double execution)", total)
 	}
 }
+
+func TestStaleCancelIsNoOp(t *testing.T) {
+	// After an event fires, its struct is recycled for the next scheduled
+	// event. A Cancel through the old ref must not touch the new event.
+	s := New()
+	ref := s.At(10, func() {})
+	s.Run()
+	fired := false
+	s.At(20, func() { fired = true }) // reuses the recycled struct
+	ref.Cancel()                      // stale: generation mismatch
+	s.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+}
+
+func TestCancelledEventRecycled(t *testing.T) {
+	// Cancelled events are recycled on pop with a clean cancel flag.
+	s := New()
+	s.At(5, func() {}).Cancel()
+	s.Run()
+	fired := false
+	s.At(10, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event reusing a cancelled struct did not fire")
+	}
+}
+
+func TestEventQueueZeroAllocSteadyState(t *testing.T) {
+	// The scheduling hot path must not allocate once the pool has reached
+	// its high-water mark: events come off the free list, the heap slice is
+	// at capacity, and EventRefs live on the stack.
+	s := New()
+	var tick func()
+	tick = func() {
+		s.After(100, tick)
+		s.After(250, func() {}).Cancel() // exercise the cancel path too
+	}
+	for i := 0; i < 32; i++ {
+		s.At(Time(i), tick)
+	}
+	s.RunUntil(s.Now() + 10_000) // warm up pool and heap
+	allocs := testing.AllocsPerRun(10, func() {
+		s.RunUntil(s.Now() + 10_000)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state scheduling allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkEventQueue(b *testing.B) {
+	// Steady-state schedule/fire throughput with 64 events in flight.
+	s := New()
+	var tick func()
+	tick = func() { s.After(100, tick) }
+	for i := 0; i < 64; i++ {
+		s.At(Time(i), tick)
+	}
+	s.RunUntil(s.Now() + 1000) // warm up
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.RunUntil(s.Now() + 100) // fires ~64 events per iteration
+	}
+}

@@ -87,6 +87,16 @@ func Sweep(cfgs []Config, ratesMbit []float64, w Workload, reps int) []Series {
 	return core.SweepRates(cfgs, ratesMbit, w, reps)
 }
 
+// SweepParallel is Sweep with the independent measurement cells — one per
+// (system, rate, repetition) — distributed over a worker pool: workers 0
+// runs serially, negative uses one worker per CPU. Each generated train is
+// recorded once and replayed into every system (the optical splitter of
+// the testbed), and the output is byte-identical to Sweep for any worker
+// count.
+func SweepParallel(cfgs []Config, ratesMbit []float64, w Workload, reps, workers int) []Series {
+	return core.SweepRatesParallel(cfgs, ratesMbit, w, reps, workers)
+}
+
 // FormatTable renders sweep results as the thesis-style table.
 func FormatTable(title string, s []Series) string { return core.FormatTable(title, s) }
 
