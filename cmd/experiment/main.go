@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +30,12 @@ func main() {
 		rates    = flag.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
 		parallel = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
 		gpDir    = flag.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
+		why      = flag.Bool("why", false, "append the per-point drop-cause table to each experiment")
+		jsonOut  = flag.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
 	)
 	flag.Parse()
 
-	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed, Parallelism: *parallel}
+	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed, Parallelism: *parallel, Why: *why}
 	if *rates != "" {
 		for _, f := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -51,6 +54,13 @@ func main() {
 		}
 	case *all:
 		for _, e := range experiments.All() {
+			if *jsonOut {
+				if err := writeJSON(e, o); err != nil {
+					fmt.Fprintln(os.Stderr, "experiment:", err)
+					os.Exit(1)
+				}
+				continue
+			}
 			fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
 			out := e.Run(o)
 			fmt.Println(out)
@@ -65,6 +75,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "experiment:", err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			if e.Series == nil {
+				fmt.Fprintf(os.Stderr, "experiment: %s has no structured series form\n", e.ID)
+				os.Exit(1)
+			}
+			if err := writeJSON(e, o); err != nil {
+				fmt.Fprintln(os.Stderr, "experiment:", err)
+				os.Exit(1)
+			}
+			return
+		}
 		fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
 		out := e.Run(o)
 		fmt.Println(out)
@@ -76,6 +97,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeJSON emits the experiment's measurement points as NDJSON, one
+// record per (x, system) point.
+func writeJSON(e experiments.Experiment, o experiments.Options) error {
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range experiments.Records(e, o) {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // writeGnuplot stores the experiment output as <id>.dat and, for the

@@ -27,14 +27,40 @@ type App struct {
 	// outstanding bytes queued to analysis workers; the reader blocks when
 	// the queue is full.
 	workerOutstanding int
+	gWorker           *Gauge
+
+	// Packets inside the currently running read task: already taken from
+	// the OS buffers but not yet counted as captured. Booked under
+	// CauseAbandoned when a run is truncated mid-read.
+	inflightPkts  int
+	inflightBytes uint64
 }
 
 func newApp(s *System, idx int) *App {
 	a := &App{sys: s, idx: idx}
 	if s.Load.PipeGzip > 0 {
-		a.pipe = &pipe{sys: s, app: a, level: s.Load.PipeGzip}
+		a.pipe = &pipe{sys: s, app: a, level: s.Load.PipeGzip,
+			gauge: s.newGauge("pipe", idx, s.Costs.PipeBufBytes)}
+	}
+	if s.Load.Workers > 0 {
+		a.gWorker = s.newGauge("worker-queue", idx, s.Costs.WorkerQueueBytes)
 	}
 	return a
+}
+
+// reset clears the application's per-run state for System reuse.
+func (a *App) reset() {
+	a.state = stIdle
+	a.Captured = 0
+	a.lastCPU = nil
+	a.sliceUsed = 0
+	a.workerOutstanding = 0
+	a.inflightPkts, a.inflightBytes = 0, 0
+	if a.pipe != nil {
+		p := a.pipe
+		p.buf, p.busy, p.producerBlocked = 0, false, false
+		p.BytesIn, p.BytesOut = 0, 0
+	}
 }
 
 // procCost prices the application-side handling of one packet beyond the
@@ -123,6 +149,7 @@ func (a *App) batchLoad(caplens []int, locality float64) (inlineFixed, inlineMem
 			parts = n
 		}
 		a.workerOutstanding += loadBytes
+		a.gWorker.observe(a.workerOutstanding)
 		fixedPer := fixed / float64(parts)
 		memPer := mem / float64(parts)
 		bytesPer := loadBytes / parts
@@ -141,6 +168,7 @@ func (a *App) batchLoad(caplens []int, locality float64) (inlineFixed, inlineMem
 				MemNsPerByte: a.sys.umemNs(),
 				OnDone: func() {
 					a.workerOutstanding -= rel
+					a.gWorker.observe(a.workerOutstanding)
 					if doApply {
 						apply()
 					}
@@ -160,15 +188,18 @@ func (a *App) blockedOnBackpressure() bool {
 	if a.sys.Disk.full() && (a.sys.Load.WriteSnapLen > 0 || a.sys.Load.WriteFull) {
 		a.state = stBlockedDisk
 		a.sys.Disk.addWaiter(a)
+		a.sys.Disk.gauge.overflow()
 		return true
 	}
 	if a.pipe != nil && a.pipe.full() {
 		a.state = stBlockedPipe
 		a.pipe.producerBlocked = true
+		a.pipe.gauge.overflow()
 		return true
 	}
 	if a.sys.Load.Workers > 0 && a.workerOutstanding >= a.sys.Costs.WorkerQueueBytes {
 		a.state = stBlockedWorkers
+		a.gWorker.overflow()
 		return true
 	}
 	return false
@@ -221,6 +252,7 @@ type pipe struct {
 	sys   *System
 	app   *App
 	level int
+	gauge *Gauge
 
 	buf             int
 	busy            bool
@@ -236,6 +268,7 @@ func (p *pipe) full() bool { return p.buf >= p.sys.Costs.PipeBufBytes }
 func (p *pipe) write(n int) {
 	p.buf += n
 	p.BytesIn += uint64(n)
+	p.gauge.observe(p.buf)
 	if !p.busy {
 		p.consume()
 	}
@@ -262,6 +295,7 @@ func (p *pipe) consume() {
 		OnDone: func() {
 			p.buf -= chunk
 			p.BytesOut += uint64(chunk)
+			p.gauge.observe(p.buf)
 			if p.producerBlocked && p.buf < p.sys.Costs.PipeBufBytes/2 {
 				p.producerBlocked = false
 				p.app.resume()

@@ -14,7 +14,8 @@ type bsdStack struct {
 
 // batt is one BPF attachment (/dev/bpfN) with its double buffer.
 type batt struct {
-	app *App
+	app   *App
+	gauge *Gauge
 
 	store bpfBuf
 	hold  bpfBuf
@@ -36,10 +37,32 @@ func (b *bpfBuf) reset() { b.bytes, b.pkts = 0, b.pkts[:0] }
 
 func newBSDStack(s *System) *bsdStack {
 	st := &bsdStack{sys: s}
-	for _, a := range s.apps {
-		st.atts = append(st.atts, &batt{app: a})
+	for i, a := range s.apps {
+		// The gauge watches one half (STORE) of the double buffer.
+		st.atts = append(st.atts, &batt{app: a, gauge: s.newGauge("bpf-store", i, s.BufferBytes)})
 	}
 	return st
+}
+
+func (st *bsdStack) reset() {
+	for _, att := range st.atts {
+		att.store.reset()
+		att.hold.reset()
+		att.ready = false
+		if att.timeoutArmed {
+			att.timeout.Cancel()
+			att.timeoutArmed = false
+		}
+		att.Drops, att.Stored = 0, 0
+	}
+}
+
+func (st *bsdStack) remnants() (shared []kpkt, perApp [][]kpkt) {
+	perApp = make([][]kpkt, len(st.atts))
+	for i, att := range st.atts {
+		perApp[i] = append(append([]kpkt(nil), att.hold.pkts...), att.store.pkts...)
+	}
+	return nil, perApp
 }
 
 // bsdAccept records one attachment's decision for irqDone.
@@ -48,6 +71,7 @@ type bsdAccept struct {
 	caplen int
 	rotate bool // swap buffers before storing
 	drop   bool // both buffer halves full: reject without copying
+	reject bool // filter rejected the packet for this attachment
 }
 
 // irqCost prices the in-interrupt work: mbuf setup, one filter run per
@@ -71,6 +95,7 @@ func (st *bsdStack) irqCost(data []byte) (float64, float64, any) {
 		caplen, fcost := st.sys.runFilter(data)
 		fixed += fcost
 		if caplen == 0 {
+			accepts = append(accepts, bsdAccept{att: att, reject: true})
 			continue
 		}
 		acc := bsdAccept{att: att, caplen: caplen}
@@ -102,8 +127,14 @@ func (st *bsdStack) irqDone(data []byte, aux any) {
 	accepts, _ := aux.([]bsdAccept)
 	for _, acc := range accepts {
 		att := acc.att
+		if acc.reject {
+			st.sys.recordDrop(CauseFilter, len(data))
+			continue
+		}
 		if acc.drop {
 			att.Drops++
+			st.sys.recordDrop(CauseBPFBuf, acc.caplen)
+			att.gauge.overflow()
 			continue
 		}
 		if acc.rotate {
@@ -112,10 +143,13 @@ func (st *bsdStack) irqDone(data []byte, aux any) {
 		sz := align4(acc.caplen + st.sys.Costs.BpfHdrBytes)
 		if att.store.bytes+sz > st.sys.BufferBytes {
 			att.Drops++ // defensive: decision invalidated concurrently
+			st.sys.recordDrop(CauseBPFBuf, acc.caplen)
+			att.gauge.overflow()
 			continue
 		}
 		att.store.pkts = append(att.store.pkts, kpkt{data: data, caplen: acc.caplen})
 		att.store.bytes += sz
+		att.gauge.observe(att.store.bytes)
 		att.Stored++
 	}
 }
@@ -123,6 +157,20 @@ func (st *bsdStack) irqDone(data []byte, aux any) {
 // rotate swaps STORE into HOLD and wakes a reader blocked in read().
 func (st *bsdStack) rotate(att *batt) {
 	att.hold, att.store = att.store, att.hold
+	if n := len(att.store.pkts); n > 0 {
+		// A rotate decided in irqCost while the HOLD was empty can execute
+		// after the reader has rotated on read and parked on backpressure:
+		// the buffers swap a second time and the just-filled HOLD lands in
+		// STORE position, where the reset below discards it. The discard is
+		// part of the modeled double-buffer behaviour; book the packets as
+		// buffer drops so conservation holds.
+		var bytes uint64
+		for _, p := range att.store.pkts {
+			bytes += uint64(p.caplen)
+		}
+		att.Drops += uint64(n)
+		st.sys.ledger.RecordN(CauseBPFBuf, n, bytes, st.sys.Sim.Now()-st.sys.runStart)
+	}
 	att.store.reset()
 	att.ready = true
 	if att.app.state == stWaitingRead {
@@ -221,6 +269,10 @@ func (st *bsdStack) consumeHold(a *App, att *batt) {
 	fixed += loadFixed
 	mem += loadMem
 	n := len(chunk)
+	a.inflightPkts = n
+	for _, cl := range caplens {
+		a.inflightBytes += uint64(cl)
+	}
 	est := fixed + mem*st.sys.umemNs()
 	a.submitWork(&sim.Task{
 		Name:         "bpf-read",
@@ -230,6 +282,7 @@ func (st *bsdStack) consumeHold(a *App, att *batt) {
 		MemNsPerByte: st.sys.umemNs(),
 		OnDone: func() {
 			a.Captured += uint64(n)
+			a.inflightPkts, a.inflightBytes = 0, 0
 			finish()
 			a.state = stIdle
 			st.appStart(a)

@@ -219,6 +219,11 @@ type Config struct {
 	NumApps int
 	Filter  bpf.Program // nil: accept everything
 	Load    AppLoad
+
+	// Prepared marks a config whose time constants and buffer sizes have
+	// already been scaled for a workload (core.Prepare sets it). Scaling is
+	// multiplicative, so it must happen exactly once per config.
+	Prepared bool
 }
 
 // kpkt is a packet inside a kernel queue.
@@ -241,6 +246,19 @@ type Stats struct {
 	WallTime  sim.Time
 	CPUCount  int
 	BusyByCls [sim.NumPrio]sim.Time
+	// BusyByCPU is the per-CPU refinement of BusyByCls: busy time per
+	// priority class on each logical CPU over the generation window.
+	BusyByCPU [][sim.NumPrio]sim.Time
+	// Ledger attributes every lost packet to the loss site (drop cause);
+	// timestamps in the ledger are relative to the run start.
+	Ledger Ledger
+	// Gauges are the per-buffer occupancy high-water marks and overflow
+	// episode counts, in fixed construction order.
+	Gauges []GaugeStat
+	// Truncated reports that the run hit the simulation safety cap with
+	// packets still in flight; the remnants are booked under
+	// CauseAbandoned instead of silently vanishing or draining.
+	Truncated bool
 	// Timestamp accuracy (§2.2.1): packets are stamped when the interrupt
 	// handler processes them, not when they arrived on the wire.
 	Stamped  uint64

@@ -9,7 +9,8 @@ import "repro/internal/sim"
 // capture tool stalls when the disk cannot keep up, which is why the
 // thesis writes only 76-byte headers at line rate (§6.3.5).
 type Disk struct {
-	sys *System
+	sys   *System
+	gauge *Gauge
 
 	queue    int
 	MaxQueue int
@@ -25,12 +26,20 @@ func (d *Disk) full() bool { return d.queue >= d.MaxQueue }
 
 func (d *Disk) addWaiter(a *App) { d.waiters = append(d.waiters, a) }
 
+func (d *Disk) reset() {
+	d.queue = 0
+	d.draining = false
+	d.waiters = nil
+	d.Written = 0
+}
+
 // Write enqueues n bytes and arms draining.
 func (d *Disk) Write(n int) {
 	if n <= 0 {
 		return
 	}
 	d.queue += n
+	d.gauge.observe(d.queue)
 	if !d.draining {
 		d.drain()
 	}
@@ -51,6 +60,7 @@ func (d *Disk) drain() {
 	d.sys.Sim.After(dur, func() {
 		d.queue -= chunk
 		d.Written += uint64(chunk)
+		d.gauge.observe(d.queue)
 		if len(d.waiters) > 0 && d.queue < d.MaxQueue/2 {
 			ws := d.waiters
 			d.waiters = nil

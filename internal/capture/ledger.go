@@ -1,0 +1,247 @@
+package capture
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Cause identifies one place in the capture path where a packet can be
+// lost. The causes mirror the bottlenecks the thesis dissects in its
+// Chapter 5 profiling and Chapter 6 measurements: the NIC's RX descriptor
+// ring, the interrupt-moderation window, the Linux per-CPU input queue
+// (backlog) and per-socket receive buffer, the FreeBSD BPF double buffer,
+// kernel filter rejection, and the application-side pipe, worker-queue and
+// disk backpressure points.
+type Cause int
+
+const (
+	// CauseNICRing: RX descriptor ring overflow (§2.2.1). Shared: the
+	// packet never reached any application.
+	CauseNICRing Cause = iota
+	// CauseModeration: ring overflow while the card was still delaying the
+	// first interrupt of a moderation window (§2.2.1) — the batching that
+	// trades interrupt load against latency also grows the ring backlog.
+	CauseModeration
+	// CauseBacklog: Linux netdev input-queue overflow (netdev_max_backlog).
+	CauseBacklog
+	// CauseRcvbuf: Linux per-socket receive-buffer overflow (rmem).
+	CauseRcvbuf
+	// CauseBPFBuf: FreeBSD BPF store/hold double buffer full (catchpacket
+	// rejecting before the copy, §2.1.1).
+	CauseBPFBuf
+	// CauseFilter: the kernel filter rejected the packet for this
+	// application. Not a malfunction — but the packet is not captured, so
+	// conservation must account for it.
+	CauseFilter
+	// CausePipe: packet lost at the gzip pipe. The modeled pipe blocks the
+	// producer instead of dropping, so this stays zero unless a future
+	// model variant sheds at the fifo.
+	CausePipe
+	// CauseWorker: packet lost at the analysis worker queue (blocks today,
+	// see CausePipe).
+	CauseWorker
+	// CauseDisk: packet lost at the disk write-back queue (blocks today,
+	// see CausePipe).
+	CauseDisk
+	// CauseAbandoned: in flight when the run hit the safety cap and was
+	// truncated (Stats.Truncated): still in the ring, backlog, socket or
+	// BPF buffers, or inside an unfinished read batch. Distinct from the
+	// modeled drops above — these packets were not lost by the system under
+	// test but by the measurement ending.
+	CauseAbandoned
+
+	NumCauses
+)
+
+// String returns the short column/key name of the cause.
+func (c Cause) String() string {
+	switch c {
+	case CauseNICRing:
+		return "nic-ring"
+	case CauseModeration:
+		return "moderation"
+	case CauseBacklog:
+		return "backlog"
+	case CauseRcvbuf:
+		return "rcvbuf"
+	case CauseBPFBuf:
+		return "bpf-buffer"
+	case CauseFilter:
+		return "filter"
+	case CausePipe:
+		return "pipe"
+	case CauseWorker:
+		return "worker-queue"
+	case CauseDisk:
+		return "disk-queue"
+	case CauseAbandoned:
+		return "abandoned"
+	default:
+		return fmt.Sprintf("cause(%d)", int(c))
+	}
+}
+
+// Shared reports whether drops of this cause happen before the
+// per-application fan-out: a shared drop is recorded once but costs every
+// attached application the packet, so conservation weighs it by the number
+// of applications. Per-app causes (rcvbuf, BPF buffer, filter, abandoned
+// remnants) are recorded once per affected application already.
+func (c Cause) Shared() bool {
+	return c == CauseNICRing || c == CauseModeration || c == CauseBacklog
+}
+
+// DropRecord accumulates the drops of one cause: packet and byte counts
+// plus the simulated timestamps of the first and last drop (the window in
+// which the bottleneck was active).
+type DropRecord struct {
+	Packets uint64
+	Bytes   uint64
+	First   sim.Time
+	Last    sim.Time
+}
+
+// Ledger is the per-cause drop accounting of one run. The zero value is
+// ready to use; the type is comparable so Stats values remain usable with
+// reflect.DeepEqual-style assertions.
+type Ledger struct {
+	Drops [NumCauses]DropRecord
+}
+
+// Record books one dropped packet of wire/capture size bytes at time now.
+func (l *Ledger) Record(c Cause, bytes int, now sim.Time) {
+	l.RecordN(c, 1, uint64(bytes), now)
+}
+
+// RecordN books pkts dropped packets totalling bytes at time now.
+func (l *Ledger) RecordN(c Cause, pkts int, bytes uint64, now sim.Time) {
+	if pkts <= 0 {
+		return
+	}
+	d := &l.Drops[c]
+	if d.Packets == 0 || now < d.First {
+		d.First = now
+	}
+	if now > d.Last {
+		d.Last = now
+	}
+	d.Packets += uint64(pkts)
+	d.Bytes += bytes
+}
+
+// Merge folds another ledger into l (used to aggregate repetitions of one
+// measurement point). First/Last keep the extreme per-run timestamps.
+func (l *Ledger) Merge(o Ledger) {
+	for c := Cause(0); c < NumCauses; c++ {
+		od := o.Drops[c]
+		if od.Packets == 0 {
+			continue
+		}
+		d := &l.Drops[c]
+		if d.Packets == 0 || od.First < d.First {
+			d.First = od.First
+		}
+		if od.Last > d.Last {
+			d.Last = od.Last
+		}
+		d.Packets += od.Packets
+		d.Bytes += od.Bytes
+	}
+}
+
+// Total returns the overall dropped packet and byte counts.
+func (l Ledger) Total() (pkts, bytes uint64) {
+	for c := Cause(0); c < NumCauses; c++ {
+		pkts += l.Drops[c].Packets
+		bytes += l.Drops[c].Bytes
+	}
+	return pkts, bytes
+}
+
+// SharedPackets returns the packets dropped before the per-app fan-out.
+func (l Ledger) SharedPackets() uint64 {
+	var n uint64
+	for c := Cause(0); c < NumCauses; c++ {
+		if c.Shared() {
+			n += l.Drops[c].Packets
+		}
+	}
+	return n
+}
+
+// PerAppPackets returns the packets dropped after the per-app fan-out.
+func (l Ledger) PerAppPackets() uint64 {
+	var n uint64
+	for c := Cause(0); c < NumCauses; c++ {
+		if !c.Shared() {
+			n += l.Drops[c].Packets
+		}
+	}
+	return n
+}
+
+// MarshalJSON renders the ledger as an object keyed by cause name, causes
+// in declaration order, zero causes omitted.
+func (l Ledger) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for c := Cause(0); c < NumCauses; c++ {
+		d := l.Drops[c]
+		if d.Packets == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%q:{\"packets\":%d,\"bytes\":%d,\"firstNS\":%d,\"lastNS\":%d}",
+			c.String(), d.Packets, d.Bytes, int64(d.First), int64(d.Last))
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// Gauge tracks the occupancy of one finite buffer over a run: the
+// high-water mark and the number of distinct overflow episodes. Repeated
+// drops while the buffer stays saturated count as one episode; the episode
+// ends when the level recedes below capacity.
+type Gauge struct {
+	Name      string
+	Capacity  int
+	HighWater int
+	Episodes  uint64
+	over      bool
+}
+
+// observe records the current fill level.
+func (g *Gauge) observe(level int) {
+	if level > g.HighWater {
+		g.HighWater = level
+	}
+	if g.over && level < g.Capacity {
+		g.over = false
+	}
+}
+
+// overflow marks a drop/block at this buffer, starting a new episode if
+// the buffer was not already saturated.
+func (g *Gauge) overflow() {
+	if !g.over {
+		g.over = true
+		g.Episodes++
+	}
+}
+
+func (g *Gauge) reset() {
+	g.HighWater, g.Episodes, g.over = 0, 0, false
+}
+
+// GaugeStat is the per-run snapshot of one buffer gauge.
+type GaugeStat struct {
+	Name      string `json:"name"`
+	Capacity  int    `json:"capacity"`
+	HighWater int    `json:"highWater"`
+	Episodes  uint64 `json:"episodes,omitempty"`
+}

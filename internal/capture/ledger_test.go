@@ -1,0 +1,186 @@
+package capture
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/filter"
+	"repro/internal/trace"
+)
+
+// TestLedgerConservationMatrix checks, for every system under test crossed
+// with the thesis's load shapes, that the drop-cause ledger balances the
+// books: napps × Generated == Σ Captured + per-app drops + napps × shared
+// drops, and that the ledger agrees with the legacy aggregate counters.
+func TestLedgerConservationMatrix(t *testing.T) {
+	loads := []struct {
+		name string
+		mod  func(cfg Config) Config
+	}{
+		{"plain", func(c Config) Config { return c }},
+		{"filter", func(c Config) Config { c.Filter = filter.MustCompile("tcp", 1515); return c }},
+		{"multiapp", func(c Config) Config { c.NumApps = 3; return c }},
+		{"disk", func(c Config) Config { c.Load.WriteFull = true; return c }},
+		{"pipe", func(c Config) Config { c.Load.PipeGzip = 3; return c }},
+		{"workers", func(c Config) Config { c.Load.Workers = 2; c.Load.ZlibLevel = 3; return c }},
+	}
+	systems := []Config{
+		{Name: "swan", Arch: arch.Opteron244(), OS: Linux},
+		{Name: "snipe", Arch: arch.Xeon306(), OS: Linux},
+		{Name: "moorhen", Arch: arch.Opteron244(), OS: FreeBSD},
+		{Name: "flamingo", Arch: arch.Xeon306(), OS: FreeBSD, KernelCostFactor: 1.9},
+	}
+	for _, base := range systems {
+		for _, ld := range loads {
+			for _, ncpu := range []int{1, 2} {
+				base, ld, ncpu := base, ld, ncpu
+				t.Run(fmt.Sprintf("%s-%s-%dcpu", base.Name, ld.name, ncpu), func(t *testing.T) {
+					t.Parallel()
+					cfg := ld.mod(base)
+					cfg.NumCPUs = ncpu
+					sys := NewSystem(scaled(cfg, 6000))
+					st := sys.Run(newGen(6000, 900, 11))
+					if err := st.CheckConservation(); err != nil {
+						t.Fatal(err)
+					}
+					if st.Truncated {
+						t.Fatal("run unexpectedly truncated")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFilterRejectionLedger pins that packets a kernel filter rejects are
+// booked under the filter cause, not silently vanished.
+func TestFilterRejectionLedger(t *testing.T) {
+	cfg := moorhenCfg()
+	cfg.Filter = filter.MustCompile("tcp", 1515) // generator sends UDP only
+	sys := NewSystem(scaled(cfg, 3000))
+	st := sys.Run(newGen(3000, 400, 2))
+	if st.CapturedTotal() != 0 {
+		t.Fatalf("captured %d packets through a rejecting filter", st.CapturedTotal())
+	}
+	rej := st.Ledger.Drops[CauseFilter]
+	if rej.Packets == 0 {
+		t.Fatal("no filter rejections in the ledger")
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestModerationDropCause pins that ring overflows during an interrupt-
+// moderation window are attributed to moderation, distinct from plain ring
+// overflow, and that together they equal the legacy NICDrops counter.
+func TestModerationDropCause(t *testing.T) {
+	cfg := scaled(moorhenCfg(), 8000)
+	cfg.Costs.ModerationDelayNS = 2e6 // 2 ms windows ≫ 256-slot ring @ 900 Mbit/s
+	sys := NewSystem(cfg)
+	st := sys.Run(newGen(8000, 900, 4))
+	mod := st.Ledger.Drops[CauseModeration].Packets
+	ring := st.Ledger.Drops[CauseNICRing].Packets
+	if mod == 0 {
+		t.Fatal("no moderation-window drops despite a 2ms coalescing delay")
+	}
+	if mod+ring != st.NICDrops {
+		t.Fatalf("moderation %d + nic-ring %d != NICDrops %d", mod, ring, st.NICDrops)
+	}
+	var nicGauge *GaugeStat
+	for i := range st.Gauges {
+		if st.Gauges[i].Name == "nic-ring" {
+			nicGauge = &st.Gauges[i]
+		}
+	}
+	if nicGauge == nil || nicGauge.Episodes == 0 {
+		t.Fatalf("nic-ring gauge missing or saw no overflow episode: %+v", st.Gauges)
+	}
+	if nicGauge.HighWater > nicGauge.Capacity {
+		t.Fatalf("nic-ring high water %d above capacity %d", nicGauge.HighWater, nicGauge.Capacity)
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTruncatedRunBooksAbandoned is the regression test for the silent
+// 600-second safety cap: a livelocked configuration must be flagged as
+// truncated, with the packets still in flight booked under 'abandoned' so
+// conservation holds, instead of disappearing without trace.
+func TestTruncatedRunBooksAbandoned(t *testing.T) {
+	cfg := swanCfg()
+	cfg.NumCPUs = 1
+	cfg = scaled(cfg, 200)
+	cfg.Costs.AppPerPktNS = 5e12 // 5000 s per packet: guaranteed livelock
+	cfg.Costs.HousekeepNS = 0
+	sys := NewSystem(cfg)
+	st := sys.Run(newGen(200, 900, 6))
+	if !st.Truncated {
+		t.Fatal("livelocked run not flagged as truncated")
+	}
+	ab := st.Ledger.Drops[CauseAbandoned]
+	if ab.Packets == 0 {
+		t.Fatal("truncated run booked no abandoned packets")
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Explain(); !strings.Contains(got, "TRUNCATED") || !strings.Contains(got, "abandoned") {
+		t.Fatalf("Explain does not surface the truncation:\n%s", got)
+	}
+}
+
+// TestSystemReuseIdentical is the regression test for stale per-run state
+// (accumulated busy counters and the RunWithArrivals gap index): a reused
+// System fed the identical train must report identical Stats.
+func TestSystemReuseIdentical(t *testing.T) {
+	cfg := scaled(swanCfg(), 5000)
+	gaps := trace.SelfSimilarArrivals(5000, 6000, 16, 1.5, 9)
+
+	fresh := NewSystem(cfg)
+	want := fresh.RunWithArrivals(newGen(5000, 800, 7), gaps)
+
+	reused := NewSystem(cfg)
+	first := reused.RunWithArrivals(newGen(5000, 800, 7), gaps)
+	second := reused.RunWithArrivals(newGen(5000, 800, 7), gaps)
+
+	if !reflect.DeepEqual(want, first) {
+		t.Fatalf("first run on reused system differs from fresh system:\n%+v\nvs\n%+v", first, want)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("second run on the same System diverged:\n%+v\nvs\n%+v", second, first)
+	}
+	if err := second.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExplainGolden locks the Explain() rendering of a deterministic lossy
+// run against a golden file.
+func TestExplainGolden(t *testing.T) {
+	cfg := swanCfg()
+	cfg.NumCPUs = 1
+	sys := NewSystem(scaled(cfg, 8000))
+	st := sys.Run(newGen(8000, 900, 11))
+	got := st.Explain()
+
+	golden := filepath.Join("testdata", "explain.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("Explain drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

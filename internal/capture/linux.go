@@ -14,6 +14,8 @@ type linuxStack struct {
 	backlog      []kpkt
 	backlogDrops uint64
 	softirqOn    bool
+	inflight     []kpkt // the batch a scheduled softirq pass is processing
+	gBacklog     *Gauge
 
 	socks []*lsock
 }
@@ -23,16 +25,40 @@ type lsock struct {
 	app      *App
 	queue    []kpkt
 	bytes    int
+	gauge    *Gauge
 	Drops    uint64
 	Enqueued uint64
 }
 
 func newLinuxStack(s *System) *linuxStack {
 	st := &linuxStack{sys: s}
-	for _, a := range s.apps {
-		st.socks = append(st.socks, &lsock{app: a})
+	st.gBacklog = s.newGauge("backlog", -1, s.Costs.BacklogLen)
+	for i, a := range s.apps {
+		st.socks = append(st.socks, &lsock{app: a, gauge: s.newGauge("rcvbuf", i, s.BufferBytes)})
 	}
 	return st
+}
+
+func (st *linuxStack) reset() {
+	st.backlog = st.backlog[:0]
+	st.backlogDrops = 0
+	st.softirqOn = false
+	st.inflight = nil
+	for _, sk := range st.socks {
+		sk.queue = sk.queue[:0]
+		sk.bytes = 0
+		sk.Drops, sk.Enqueued = 0, 0
+	}
+}
+
+func (st *linuxStack) remnants() (shared []kpkt, perApp [][]kpkt) {
+	shared = append(shared, st.backlog...)
+	shared = append(shared, st.inflight...)
+	perApp = make([][]kpkt, len(st.socks))
+	for i, sk := range st.socks {
+		perApp[i] = sk.queue
+	}
+	return shared, perApp
 }
 
 // irqCost: driver top half — allocate the skb and enqueue the pointer.
@@ -50,9 +76,12 @@ func (st *linuxStack) irqCost(data []byte) (float64, float64, any) {
 func (st *linuxStack) irqDone(data []byte, _ any) {
 	if len(st.backlog) >= st.sys.Costs.BacklogLen {
 		st.backlogDrops++
+		st.sys.recordDrop(CauseBacklog, len(data))
+		st.gBacklog.overflow()
 		return
 	}
 	st.backlog = append(st.backlog, kpkt{data: data})
+	st.gBacklog.observe(len(st.backlog))
 	if !st.softirqOn {
 		st.softirqOn = true
 		st.scheduleSoftirq()
@@ -77,10 +106,13 @@ func (st *linuxStack) scheduleSoftirq() {
 	copy(batch, st.backlog[:n])
 	copy(st.backlog, st.backlog[n:])
 	st.backlog = st.backlog[:len(st.backlog)-n]
+	st.inflight = batch
 
 	ring := st.sys.MmapPatch || st.sys.PFRing
 	var fixed, mem float64
 	var delivers []delivery
+	rejects := 0
+	var rejectBytes uint64
 	for _, p := range batch {
 		perPkt := c.SoftirqPerPktNS
 		if st.sys.PFRing {
@@ -92,6 +124,8 @@ func (st *linuxStack) scheduleSoftirq() {
 			caplen, fcost := st.sys.runFilter(p.data)
 			fixed += fcost
 			if caplen == 0 {
+				rejects++
+				rejectBytes += uint64(len(p.data))
 				continue
 			}
 			if st.sys.PFRing {
@@ -117,14 +151,22 @@ func (st *linuxStack) scheduleSoftirq() {
 		MemBytes:     mem,
 		MemNsPerByte: st.sys.kmemNs(),
 		OnDone: func() {
+			// The pass has run: the batch packets are now either rejected,
+			// dropped at a socket, or queued — no longer in flight.
+			st.inflight = nil
+			st.sys.ledger.RecordN(CauseFilter, rejects, rejectBytes,
+				st.sys.Sim.Now()-st.sys.runStart)
 			for _, dv := range delivers {
 				overhead := dv.p.caplen + st.sys.Costs.SkbOverhead
 				if dv.sk.bytes+overhead > st.sys.BufferBytes {
 					dv.sk.Drops++
+					st.sys.recordDrop(CauseRcvbuf, dv.p.caplen)
+					dv.sk.gauge.overflow()
 					continue
 				}
 				dv.sk.queue = append(dv.sk.queue, dv.p)
 				dv.sk.bytes += overhead
+				dv.sk.gauge.observe(dv.sk.bytes)
 				dv.sk.Enqueued++
 				if dv.sk.app.state == stIdle {
 					st.appStart(dv.sk.app)
@@ -179,7 +221,9 @@ func (st *linuxStack) appStart(a *App) {
 			mem += float64(p.caplen)
 		}
 		caplens = append(caplens, p.caplen)
+		a.inflightBytes += uint64(p.caplen)
 	}
+	a.inflightPkts = n
 	loadFixed, loadMem, finish := a.batchLoad(caplens, 1.0)
 	fixed += loadFixed
 	mem += loadMem
@@ -192,6 +236,7 @@ func (st *linuxStack) appStart(a *App) {
 		MemNsPerByte: st.sys.umemNs(),
 		OnDone: func() {
 			a.Captured += uint64(n)
+			a.inflightPkts, a.inflightBytes = 0, 0
 			finish()
 			a.state = stIdle
 			st.appStart(a)

@@ -15,6 +15,9 @@ type NIC struct {
 
 	ring      []kpkt
 	irqActive bool
+	modWait   bool  // first interrupt delayed by the moderation window
+	inflight  *kpkt // packet popped from the ring, hardirq task running
+	gauge     *Gauge
 
 	Drops     uint64 // ring overflows
 	Delivered uint64 // packets handed to the stack
@@ -23,17 +26,36 @@ type NIC struct {
 	lastStamp  sim.Time
 }
 
+func (n *NIC) reset() {
+	n.ring = n.ring[:0]
+	n.irqActive, n.modWait, n.inflight = false, false, nil
+	n.Drops, n.Delivered = 0, 0
+	n.burstStamp, n.lastStamp = 0, 0
+}
+
 // Arrive is called at the simulated instant the frame has fully arrived.
 func (n *NIC) Arrive(data []byte) {
 	if len(n.ring) >= n.sys.Costs.RingSlots {
 		n.Drops++
+		// Attribute the overflow: a ring that filled while the card was
+		// still delaying the first interrupt of a moderation window is the
+		// moderation trade-off at work, not handler overload.
+		cause := CauseNICRing
+		if n.modWait {
+			cause = CauseModeration
+		}
+		n.sys.recordDrop(cause, len(data))
+		n.gauge.overflow()
 		return
 	}
 	n.ring = append(n.ring, kpkt{data: data, arrival: n.sys.Sim.Now()})
+	n.gauge.observe(len(n.ring))
 	if !n.irqActive {
 		n.irqActive = true
 		if d := n.sys.Costs.ModerationDelayNS; d > 0 {
+			n.modWait = true
 			n.sys.Sim.After(sim.Time(d), func() {
+				n.modWait = false
 				n.burstStamp = n.sys.Sim.Now()
 				n.serviceNext(true)
 			})
@@ -52,6 +74,7 @@ func (n *NIC) serviceNext(first bool) {
 	p := n.ring[0]
 	copy(n.ring, n.ring[1:])
 	n.ring = n.ring[:len(n.ring)-1]
+	n.inflight = &p
 
 	fixed, memBytes, aux := n.sys.stack.irqCost(p.data)
 	fixed += n.sys.Costs.DriverRxNS
@@ -67,6 +90,7 @@ func (n *NIC) serviceNext(first bool) {
 		OnDone: func() {
 			n.Delivered++
 			n.stamp(p)
+			n.inflight = nil // custody passes to the stack
 			n.sys.stack.irqDone(p.data, aux)
 			if len(n.ring) > 0 {
 				n.serviceNext(false)

@@ -32,6 +32,12 @@ type stack interface {
 	// dropStats returns per-application buffer drops and (Linux) input
 	// queue drops.
 	dropStats() (perApp []uint64, queue uint64)
+	// reset clears all per-run state so the System can run another train.
+	reset()
+	// remnants inventories the packets still queued inside the stack when
+	// a run is truncated: shared queues (before the per-app fan-out) and
+	// the per-application buffers.
+	remnants() (shared []kpkt, perApp [][]kpkt)
 }
 
 // appState tracks what an application is doing.
@@ -62,16 +68,43 @@ type System struct {
 	stack stack
 	apps  []*App
 
-	running      bool
-	genDone      bool
-	genEnd       sim.Time
-	busyAtGenEnd [sim.NumPrio]sim.Time
+	running   bool
+	genDone   bool
+	genEnd    sim.Time
+	runStart  sim.Time // Sim.Now() when the current run began
+	truncated bool     // the run hit the safety cap with packets in flight
+
+	// Per-CPU, per-priority busy counters bracketing the generation window
+	// (cpusage semantics, §5): snapshot at run start, delta at genEnd.
+	busyAtStart  [][sim.NumPrio]sim.Time
+	busyAtGenEnd [][sim.NumPrio]sim.Time
+
+	// Drop-cause accounting for the current run.
+	ledger Ledger
+	gauges []*Gauge
 
 	// Timestamp-accuracy accounting (see NIC.stamp).
 	tsStamped uint64
 	tsErrSum  sim.Time
 	tsErrMax  sim.Time
 	tsTies    uint64
+}
+
+// newGauge registers an occupancy gauge for one finite buffer. idx >= 0
+// tags per-application buffers when several applications are attached.
+func (s *System) newGauge(name string, idx, capacity int) *Gauge {
+	if idx >= 0 && s.NumApps > 1 {
+		name = fmt.Sprintf("%s[%d]", name, idx)
+	}
+	g := &Gauge{Name: name, Capacity: capacity}
+	s.gauges = append(s.gauges, g)
+	return g
+}
+
+// recordDrop books one lost packet; ledger timestamps are relative to the
+// run start so repeated runs of one System produce identical ledgers.
+func (s *System) recordDrop(c Cause, bytes int) {
+	s.ledger.Record(c, bytes, s.Sim.Now()-s.runStart)
 }
 
 // NewSystem assembles a system from its configuration.
@@ -116,7 +149,9 @@ func NewSystem(cfg Config) *System {
 		s.Machine.HTSlowdown = cfg.Arch.HTSlowdown
 	}
 	s.NIC = &NIC{sys: s}
+	s.NIC.gauge = s.newGauge("nic-ring", -1, s.Costs.RingSlots)
 	s.Disk = &Disk{sys: s, MaxQueue: cfg.DiskQueueBytes}
+	s.Disk.gauge = s.newGauge("disk-queue", -1, cfg.DiskQueueBytes)
 
 	for i := 0; i < cfg.NumApps; i++ {
 		s.apps = append(s.apps, newApp(s, i))
@@ -226,20 +261,7 @@ func (s *System) quiescent() bool {
 // inter-arrival gaps (nanoseconds): packet i arrives at the cumulative sum
 // of gaps[:i+1]. Used for the self-similar-arrivals extension experiment.
 func (s *System) RunWithArrivals(gen *pktgen.Generator, gapsNS []int64) Stats {
-	i := 0
-	return s.run(gen, func(p pktgen.Packet) sim.Time {
-		var at sim.Time
-		if i < len(gapsNS) {
-			at = s.Sim.Now() + sim.Time(gapsNS[i])
-		} else {
-			at = p.At
-		}
-		i++
-		if at <= s.Sim.Now() {
-			at = s.Sim.Now() + 1
-		}
-		return at
-	})
+	return s.run(gen, gapsNS)
 }
 
 // Run feeds the generator's packet train into the NIC, lets the system
@@ -253,13 +275,66 @@ func (s *System) Run(gen *pktgen.Generator) Stats {
 // RunSource is Run for any packet source, e.g. a recorded splitter feed
 // replayed into several systems.
 func (s *System) RunSource(src Source) Stats {
-	return s.run(src, func(p pktgen.Packet) sim.Time { return p.At })
+	return s.run(src, nil)
 }
 
-func (s *System) run(src Source, arrivalAt func(pktgen.Packet) sim.Time) Stats {
-	src.Reset()
-	s.running = true
+// resetRun clears every per-run counter and state machine so that a System
+// can be reused for another train: the busy-counter baseline is
+// re-snapshotted (cpu.Busy is cumulative), the ledger, gauges, NIC, stack,
+// disk and application state all start fresh.
+func (s *System) resetRun() {
 	s.genDone = false
+	s.truncated = false
+	s.runStart = s.Sim.Now()
+	s.genEnd = 0
+	s.ledger = Ledger{}
+	for _, g := range s.gauges {
+		g.reset()
+	}
+	s.NIC.reset()
+	s.stack.reset()
+	s.Disk.reset()
+	for _, a := range s.apps {
+		a.reset()
+	}
+	s.tsStamped, s.tsErrSum, s.tsErrMax, s.tsTies = 0, 0, 0, 0
+	ncpu := len(s.Machine.CPUs)
+	if s.busyAtStart == nil {
+		s.busyAtStart = make([][sim.NumPrio]sim.Time, ncpu)
+		s.busyAtGenEnd = make([][sim.NumPrio]sim.Time, ncpu)
+	}
+	for i, cpu := range s.Machine.CPUs {
+		for p := sim.Prio(0); p < sim.NumPrio; p++ {
+			s.busyAtStart[i][p] = cpu.Busy(p)
+			s.busyAtGenEnd[i][p] = 0
+		}
+	}
+}
+
+// run executes one measurement. gapsNS, when non-nil, replaces the train's
+// own pacing with explicit inter-arrival gaps; the gap index is local to
+// this call, so a reused System starts its gap sequence from the beginning.
+func (s *System) run(src Source, gapsNS []int64) Stats {
+	src.Reset()
+	s.resetRun()
+	gi := 0
+	arrivalAt := func(p pktgen.Packet) sim.Time {
+		if gapsNS == nil {
+			return p.At
+		}
+		var at sim.Time
+		if gi < len(gapsNS) {
+			at = s.Sim.Now() + sim.Time(gapsNS[gi])
+		} else {
+			at = p.At
+		}
+		gi++
+		if at <= s.Sim.Now() {
+			at = s.Sim.Now() + 1
+		}
+		return at
+	}
+	s.running = true
 	s.startHousekeeping()
 	// The applications open their capture sessions and enter their first
 	// read before generation starts (measurement cycle step 1, §3.4).
@@ -277,9 +352,9 @@ func (s *System) run(src Source, arrivalAt func(pktgen.Packet) sim.Time) Stats {
 			// CPU usage is reported over the generation window, like
 			// cpusage bracketing the measurement (§5): snapshot the busy
 			// counters the moment the last packet has arrived.
-			for _, cpu := range s.Machine.CPUs {
+			for i, cpu := range s.Machine.CPUs {
 				for p := sim.Prio(0); p < sim.NumPrio; p++ {
-					s.busyAtGenEnd[p] += cpu.Busy(p)
+					s.busyAtGenEnd[i][p] = cpu.Busy(p) - s.busyAtStart[i][p]
 				}
 			}
 			return
@@ -305,14 +380,67 @@ func (s *System) run(src Source, arrivalAt func(pktgen.Packet) sim.Time) Stats {
 		}
 		limit += window
 		if limit > s.genEnd+600*sim.Second && s.genDone {
+			// Safety cap: a livelocked configuration would take longer to
+			// drain than any real run. Mark the truncation and book the
+			// packets still in flight instead of letting them drain (which
+			// would misreport a stuck system as capturing) or silently
+			// vanish.
+			s.truncated = true
 			break
 		}
 	}
 	s.running = false
+	if s.truncated {
+		s.recordRemnants()
+		st := s.collectStats(sent)
+		// Flush the abandoned events after the books are closed, so the
+		// simulator is clean for a potential next run.
+		s.Sim.Run()
+		return st
+	}
 	// Let any residual events (cancelled housekeeping re-arms) run out.
 	s.Sim.Run()
 
 	return s.collectStats(sent)
+}
+
+// recordRemnants books every packet still in flight at truncation time
+// under CauseAbandoned: packets in shared queues (NIC ring, in-interrupt,
+// Linux backlog and softirq batch) are lost to every application, so they
+// are weighted by the application count; packets in per-application
+// buffers or unfinished read batches count once.
+func (s *System) recordRemnants() {
+	now := s.Sim.Now() - s.runStart
+	napps := len(s.apps)
+
+	sharedPkts := 0
+	var sharedBytes uint64
+	count := func(p kpkt) {
+		sharedPkts++
+		sharedBytes += uint64(len(p.data))
+	}
+	if s.NIC.inflight != nil {
+		count(*s.NIC.inflight)
+	}
+	for _, p := range s.NIC.ring {
+		count(p)
+	}
+	shared, perApp := s.stack.remnants()
+	for _, p := range shared {
+		count(p)
+	}
+	s.ledger.RecordN(CauseAbandoned, sharedPkts*napps, sharedBytes*uint64(napps), now)
+
+	for _, pkts := range perApp {
+		var bytes uint64
+		for _, p := range pkts {
+			bytes += uint64(p.caplen)
+		}
+		s.ledger.RecordN(CauseAbandoned, len(pkts), bytes, now)
+	}
+	for _, a := range s.apps {
+		s.ledger.RecordN(CauseAbandoned, a.inflightPkts, a.inflightBytes, now)
+	}
 }
 
 func (s *System) collectStats(generated uint64) Stats {
@@ -321,10 +449,19 @@ func (s *System) collectStats(generated uint64) Stats {
 		NICDrops:  s.NIC.Drops,
 		CPUCount:  len(s.Machine.CPUs),
 	}
-	st.WallTime = s.genEnd
-	st.BusyByCls = s.busyAtGenEnd
-	for p := sim.Prio(0); p < sim.NumPrio; p++ {
-		st.BusyTime += s.busyAtGenEnd[p]
+	st.WallTime = s.genEnd - s.runStart
+	st.BusyByCPU = append([][sim.NumPrio]sim.Time(nil), s.busyAtGenEnd...)
+	for _, by := range st.BusyByCPU {
+		for p := sim.Prio(0); p < sim.NumPrio; p++ {
+			st.BusyByCls[p] += by[p]
+			st.BusyTime += by[p]
+		}
+	}
+	st.Ledger = s.ledger
+	st.Truncated = s.truncated
+	st.Gauges = make([]GaugeStat, len(s.gauges))
+	for i, g := range s.gauges {
+		st.Gauges[i] = GaugeStat{Name: g.Name, Capacity: g.Capacity, HighWater: g.HighWater, Episodes: g.Episodes}
 	}
 	for _, a := range s.apps {
 		st.AppCaptured = append(st.AppCaptured, a.Captured)

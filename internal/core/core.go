@@ -108,8 +108,14 @@ func (w Workload) Generator() *pktgen.Generator {
 }
 
 // Prepare time-compresses a system configuration for the workload and
-// fills in the buffer defaults if unset.
+// fills in the buffer defaults if unset. Scaling is multiplicative, so
+// Prepare marks the config and is idempotent: preparing an already
+// prepared config returns it unchanged instead of compressing twice.
 func Prepare(cfg capture.Config, w Workload) capture.Config {
+	if cfg.Prepared {
+		return cfg
+	}
+	cfg.Prepared = true
 	if cfg.Costs == (capture.Costs{}) {
 		cfg.Costs = capture.DefaultCosts()
 	}
@@ -134,7 +140,13 @@ func Prepare(cfg capture.Config, w Workload) capture.Config {
 	return cfg
 }
 
+// scaleBytes compresses a buffer capacity, with a floor so tiny runs keep
+// a usable buffer. Zero means "feature disabled / unset" and must survive
+// scaling as zero rather than gaining the floor capacity.
 func scaleBytes(b int, s float64) int {
+	if b <= 0 {
+		return b
+	}
 	v := int(float64(b) * s)
 	if v < 4096 {
 		v = 4096
@@ -162,6 +174,11 @@ type Point struct {
 	Best      float64
 	CPU       float64 // average CPU usage, percent
 	Generated uint64
+	// Drops is the drop-cause ledger merged over the repetitions of this
+	// point (an array-backed value, so Point stays comparable).
+	Drops capture.Ledger
+	// Truncated counts repetitions that hit the simulation safety cap.
+	Truncated int
 }
 
 // Series is the result of sweeping one system over x values.
@@ -205,6 +222,10 @@ func aggregatePoint(system string, runs []capture.Stats) Point {
 		bestS += be
 		cpuS += st.CPUUsage()
 		pt.Generated = st.Generated
+		pt.Drops.Merge(st.Ledger)
+		if st.Truncated {
+			pt.Truncated++
+		}
 	}
 	n := float64(len(runs))
 	pt.Rate /= n
@@ -213,8 +234,17 @@ func aggregatePoint(system string, runs []capture.Stats) Point {
 	return pt
 }
 
+// AggregatePoint folds the per-repetition statistics of one measurement
+// point at x into a plotted Point (capture rate, CPU, drop-cause ledger).
+func AggregatePoint(system string, x float64, runs []capture.Stats) Point {
+	pt := aggregatePoint(system, runs)
+	pt.X = x
+	return pt
+}
+
 // FormatTable renders series the way the thesis plots read: one row per x
-// value, one rate/CPU column pair per system.
+// value, one rate/CPU column pair per system. Series of unequal length are
+// rendered with blanks for the missing points instead of panicking.
 func FormatTable(title string, series []Series) string {
 	var out strings.Builder
 	fmt.Fprintf(&out, "# %s\n", title)
@@ -222,17 +252,68 @@ func FormatTable(title string, series []Series) string {
 		return out.String()
 	}
 	out.WriteString("# x")
+	rows := 0
 	for _, s := range series {
 		fmt.Fprintf(&out, "\t%s:rate%%\t%s:cpu%%", s.System, s.System)
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
 	}
 	out.WriteByte('\n')
-	for i := range series[0].Points {
-		fmt.Fprintf(&out, "%.0f", series[0].Points[i].X)
+	for i := 0; i < rows; i++ {
+		// The x value comes from the first series long enough to have
+		// this row.
 		for _, s := range series {
-			p := s.Points[i]
-			fmt.Fprintf(&out, "\t%6.2f\t%6.2f", p.Rate, p.CPU)
+			if i < len(s.Points) {
+				fmt.Fprintf(&out, "%.0f", s.Points[i].X)
+				break
+			}
+		}
+		for _, s := range series {
+			if i < len(s.Points) {
+				p := s.Points[i]
+				fmt.Fprintf(&out, "\t%6.2f\t%6.2f", p.Rate, p.CPU)
+			} else {
+				out.WriteString("\t     -\t     -")
+			}
 		}
 		out.WriteByte('\n')
+	}
+	return out.String()
+}
+
+// FormatWhy renders the drop-cause breakdown of a sweep: one line per
+// (x, system) point listing the per-cause packet counts summed over the
+// point's repetitions — the `experiment -why` companion of FormatTable.
+func FormatWhy(series []Series) string {
+	var out strings.Builder
+	out.WriteString("# why: drop causes per point (packets summed over repetitions)\n")
+	out.WriteString("# x\tsystem\tdropped\tby-cause\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			total, _ := p.Drops.Total()
+			fmt.Fprintf(&out, "%.0f\t%s\t%d\t", p.X, s.System, total)
+			if total == 0 {
+				out.WriteByte('-')
+			} else {
+				first := true
+				for c := capture.Cause(0); c < capture.NumCauses; c++ {
+					d := p.Drops.Drops[c]
+					if d.Packets == 0 {
+						continue
+					}
+					if !first {
+						out.WriteByte(' ')
+					}
+					first = false
+					fmt.Fprintf(&out, "%s=%d", c, d.Packets)
+				}
+			}
+			if p.Truncated > 0 {
+				fmt.Fprintf(&out, " [truncated x%d]", p.Truncated)
+			}
+			out.WriteByte('\n')
+		}
 	}
 	return out.String()
 }

@@ -31,6 +31,9 @@ type Options struct {
 	// over worker goroutines: 0 = serial, <0 = one worker per CPU, >0 =
 	// exactly that many. Output is byte-identical for any value.
 	Parallelism int
+	// Why appends the per-point drop-cause breakdown (core.FormatWhy) to
+	// the rendered table — the `experiment -why` flag.
+	Why bool
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +60,15 @@ type Experiment struct {
 	Paper string // the figure/table in the thesis
 	Title string
 	Run   func(o Options) string
+	// Series returns the experiment's measurement points in structured
+	// form (for `experiment -json`); nil for experiments that have no
+	// series shape (distribution plots, histograms).
+	Series func(o Options) []core.Series
+}
+
+// expt builds a text-only experiment (no structured series form).
+func expt(id, paper, title string, run func(Options) string) Experiment {
+	return Experiment{ID: id, Paper: paper, Title: title, Run: run}
 }
 
 // All returns every experiment: the thesis's tables and figures in thesis
@@ -67,37 +79,38 @@ func All() []Experiment {
 }
 
 func thesisExperiments() []Experiment {
+	const rateTitle = "capturing rate and CPU usage vs data rate [Mbit/s]"
 	return []Experiment{
-		{"fig4.1", "Figure 4.1", "packet size distribution of the 24h MWN trace", runFig41},
-		{"fig4.2", "Figure 4.2", "top-20 packet sizes with cumulative shares", runFig42},
-		{"fig4.3", "Figure 4.3/§4.3.1", "generator output fidelity vs input distribution", runFig43},
-		{"gen-rate", "§4.1.3", "maximum generation rate by fixed packet size", runGenRate},
-		{"fig6.2-nosmp", "Figure 6.2 (33)", "baseline, default buffers, single CPU", sweep(defaultBuffers, single)},
-		{"fig6.2-smp", "Figure 6.2 (19)", "baseline, default buffers, dual CPU", sweep(defaultBuffers, dual)},
-		{"fig6.3-nosmp", "Figure 6.3a (32)", "increased buffers, single CPU", sweep(bigBuffers, single)},
-		{"fig6.3-smp", "Figure 6.3b (19)", "increased buffers, dual CPU", sweep(bigBuffers, dual)},
-		{"fig6.4-nosmp", "Figure 6.4a (33)", "buffer-size sweep at top rate, single CPU", bufferSweep(single)},
-		{"fig6.4-smp", "Figure 6.4b (20)", "buffer-size sweep at top rate, dual CPU", bufferSweep(dual)},
-		{"fig6.6-nosmp", "Figure 6.6a (34)", "50-instruction BPF filter, single CPU", sweep(withFilter, single)},
-		{"fig6.6-smp", "Figure 6.6b (21)", "50-instruction BPF filter, dual CPU", sweep(withFilter, dual)},
-		{"fig6.7", "Figure 6.7 (22)", "two concurrent capturing applications", multiApp(2)},
-		{"fig6.8", "Figure 6.8 (23)", "four concurrent capturing applications", multiApp(4)},
-		{"fig6.9", "Figure 6.9 (24)", "eight concurrent capturing applications", multiApp(8)},
-		{"fig6.10-nosmp", "Figure 6.10a (35)", "50 additional memcpys per packet, single CPU", sweep(memcpy(50), single)},
-		{"fig6.10-smp", "Figure 6.10b (27)", "50 additional memcpys per packet, dual CPU", sweep(memcpy(50), dual)},
-		{"figB.2", "Figure B.2", "25 additional memcpys per packet, dual CPU", sweep(memcpy(25), dual)},
-		{"fig6.11-nosmp", "Figure 6.11a (40)", "zlib level 3 per packet, single CPU", sweep(gzwrite(3), single)},
-		{"fig6.11-smp", "Figure 6.11b (39)", "zlib level 3 per packet, dual CPU", sweep(gzwrite(3), dual)},
-		{"figB.3", "Figure B.3", "zlib level 9 per packet, dual CPU", sweep(gzwrite(9), dual)},
-		{"fig6.12", "Figure 6.12 (48)", "tcpdump piped to gzip -3, dual CPU", sweep(pipeGzip(3), dual)},
-		{"fig6.13", "Figure 6.13 (00)", "bonnie++: maximum disk write speed and CPU", runBonnie},
-		{"fig6.14-nosmp", "Figure 6.14a (46)", "write first 76 bytes of each packet to disk, single CPU", sweep(headerToDisk, single)},
-		{"fig6.14-smp", "Figure 6.14b (45)", "write first 76 bytes of each packet to disk, dual CPU", sweep(headerToDisk, dual)},
-		{"fig6.15-nosmp", "Figure 6.15a (18)", "memory-mapped libpcap on Linux, single CPU", mmapCompare(single)},
-		{"fig6.15-smp", "Figure 6.15b (19)", "memory-mapped libpcap on Linux, dual CPU", mmapCompare(dual)},
-		{"fig6.16", "Figure 6.16 (42)", "Hyperthreading on the Intel systems", runHyperthreading},
-		{"figB.1", "Figure B.1", "FreeBSD 5.2.1 vs 5.4", runOSVersion},
-		{"selfsim", "§2.5 (extension)", "self-similar vs paced arrivals: buffer absorption", runSelfSimilar},
+		expt("fig4.1", "Figure 4.1", "packet size distribution of the 24h MWN trace", runFig41),
+		expt("fig4.2", "Figure 4.2", "top-20 packet sizes with cumulative shares", runFig42),
+		expt("fig4.3", "Figure 4.3/§4.3.1", "generator output fidelity vs input distribution", runFig43),
+		expt("gen-rate", "§4.1.3", "maximum generation rate by fixed packet size", runGenRate),
+		sweepExpt("fig6.2-nosmp", "Figure 6.2 (33)", "baseline, default buffers, single CPU", rateTitle, sysCfgs(defaultBuffers, single)),
+		sweepExpt("fig6.2-smp", "Figure 6.2 (19)", "baseline, default buffers, dual CPU", rateTitle, sysCfgs(defaultBuffers, dual)),
+		sweepExpt("fig6.3-nosmp", "Figure 6.3a (32)", "increased buffers, single CPU", rateTitle, sysCfgs(bigBuffers, single)),
+		sweepExpt("fig6.3-smp", "Figure 6.3b (19)", "increased buffers, dual CPU", rateTitle, sysCfgs(bigBuffers, dual)),
+		bufferSweepExpt("fig6.4-nosmp", "Figure 6.4a (33)", "buffer-size sweep at top rate, single CPU", single),
+		bufferSweepExpt("fig6.4-smp", "Figure 6.4b (20)", "buffer-size sweep at top rate, dual CPU", dual),
+		sweepExpt("fig6.6-nosmp", "Figure 6.6a (34)", "50-instruction BPF filter, single CPU", rateTitle, sysCfgs(withFilter, single)),
+		sweepExpt("fig6.6-smp", "Figure 6.6b (21)", "50-instruction BPF filter, dual CPU", rateTitle, sysCfgs(withFilter, dual)),
+		multiAppExpt("fig6.7", "Figure 6.7 (22)", "two concurrent capturing applications", 2),
+		multiAppExpt("fig6.8", "Figure 6.8 (23)", "four concurrent capturing applications", 4),
+		multiAppExpt("fig6.9", "Figure 6.9 (24)", "eight concurrent capturing applications", 8),
+		sweepExpt("fig6.10-nosmp", "Figure 6.10a (35)", "50 additional memcpys per packet, single CPU", rateTitle, sysCfgs(memcpy(50), single)),
+		sweepExpt("fig6.10-smp", "Figure 6.10b (27)", "50 additional memcpys per packet, dual CPU", rateTitle, sysCfgs(memcpy(50), dual)),
+		sweepExpt("figB.2", "Figure B.2", "25 additional memcpys per packet, dual CPU", rateTitle, sysCfgs(memcpy(25), dual)),
+		sweepExpt("fig6.11-nosmp", "Figure 6.11a (40)", "zlib level 3 per packet, single CPU", rateTitle, sysCfgs(gzwrite(3), single)),
+		sweepExpt("fig6.11-smp", "Figure 6.11b (39)", "zlib level 3 per packet, dual CPU", rateTitle, sysCfgs(gzwrite(3), dual)),
+		sweepExpt("figB.3", "Figure B.3", "zlib level 9 per packet, dual CPU", rateTitle, sysCfgs(gzwrite(9), dual)),
+		sweepExpt("fig6.12", "Figure 6.12 (48)", "tcpdump piped to gzip -3, dual CPU", rateTitle, sysCfgs(pipeGzip(3), dual)),
+		expt("fig6.13", "Figure 6.13 (00)", "bonnie++: maximum disk write speed and CPU", runBonnie),
+		sweepExpt("fig6.14-nosmp", "Figure 6.14a (46)", "write first 76 bytes of each packet to disk, single CPU", rateTitle, sysCfgs(headerToDisk, single)),
+		sweepExpt("fig6.14-smp", "Figure 6.14b (45)", "write first 76 bytes of each packet to disk, dual CPU", rateTitle, sysCfgs(headerToDisk, dual)),
+		sweepExpt("fig6.15-nosmp", "Figure 6.15a (18)", "memory-mapped libpcap on Linux, single CPU", "mmap'd libpcap vs stock on Linux", mmapConfigs(single)),
+		sweepExpt("fig6.15-smp", "Figure 6.15b (19)", "memory-mapped libpcap on Linux, dual CPU", "mmap'd libpcap vs stock on Linux", mmapConfigs(dual)),
+		sweepExpt("fig6.16", "Figure 6.16 (42)", "Hyperthreading on the Intel systems", "Hyperthreading on vs off (Intel Xeon systems)", htConfigs),
+		sweepExpt("figB.1", "Figure B.1", "FreeBSD 5.2.1 vs 5.4", "FreeBSD 5.4 vs 5.2.1", osVersionConfigs),
+		expt("selfsim", "§2.5 (extension)", "self-similar vs paced arrivals: buffer absorption", runSelfSimilar),
 	}
 }
 
@@ -167,16 +180,60 @@ func headerToDisk(cfg capture.Config) capture.Config {
 
 // --- generic sweeps ------------------------------------------------------
 
-// sweep builds a data-rate sweep over the four systems with the given
-// modifiers applied.
-func sweep(mods ...modifier) func(o Options) string {
+// sysCfgs returns the four thesis systems with the modifiers applied, as a
+// config builder for sweepExpt.
+func sysCfgs(mods ...modifier) func() []capture.Config {
+	return func() []capture.Config { return systems(mods...) }
+}
+
+// seriesSweep runs the standard §3.4 data-rate sweep over the configs.
+func seriesSweep(cfgs func() []capture.Config) func(o Options) []core.Series {
+	return func(o Options) []core.Series {
+		o = o.withDefaults()
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+		return core.SweepRatesParallel(cfgs(), o.Rates, w, o.Reps, o.Parallelism)
+	}
+}
+
+// tableRun renders a sweep the way the thesis plots it, appending the
+// per-point drop-cause table when -why is set.
+func tableRun(title string, series func(o Options) []core.Series) func(o Options) string {
 	return func(o Options) string {
 		o = o.withDefaults()
-		cfgs := systems(mods...)
-		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-		series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-		return core.FormatTable("capturing rate and CPU usage vs data rate [Mbit/s]", series)
+		s := series(o)
+		out := core.FormatTable(title, s)
+		if o.Why {
+			out += "\n" + core.FormatWhy(s)
+		}
+		return out
 	}
+}
+
+// sweepExpt builds a data-rate-sweep experiment with both the rendered
+// table (Run) and the structured series (Series) forms.
+func sweepExpt(id, paper, title, tableTitle string, cfgs func() []capture.Config) Experiment {
+	series := seriesSweep(cfgs)
+	return Experiment{ID: id, Paper: paper, Title: title,
+		Run: tableRun(tableTitle, series), Series: series}
+}
+
+// cellSeries groups per-cell runs (laid out x-major, system-minor) into
+// one Series per system, with the given per-cell x value.
+func cellSeries(cells []core.Cell, sts []capture.Stats, x func(i int) float64) []core.Series {
+	var series []core.Series
+	idx := map[string]int{}
+	for i, st := range sts {
+		name := cells[i].Cfg.Name
+		j, ok := idx[name]
+		if !ok {
+			j = len(series)
+			idx[name] = j
+			series = append(series, core.Series{System: name})
+		}
+		series[j].Points = append(series[j].Points,
+			core.AggregatePoint(name, x(i), []capture.Stats{st}))
+	}
+	return series
 }
 
 func systems(mods ...modifier) []capture.Config {
@@ -189,72 +246,102 @@ func systems(mods ...modifier) []capture.Config {
 	return cfgs
 }
 
-// bufferSweep reproduces Figure 6.4: highest rate, buffer size on the x
-// axis ("the buffer size was reduced by a factor of two for FreeBSD" so
+// bufferSweepExpt reproduces Figure 6.4: highest rate, buffer size on the
+// x axis ("the buffer size was reduced by a factor of two for FreeBSD" so
 // the effective capacity matches single-buffered Linux).
-func bufferSweep(cpuMod modifier) func(o Options) string {
-	return func(o Options) string {
+func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
+	series := func(o Options) []core.Series {
 		o = o.withDefaults()
-		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
-		var cells []core.Cell
-		var kbs []int
-		for kb := 128; kb <= 262144; kb *= 2 {
-			kbs = append(kbs, kb)
-			for _, base := range systems(cpuMod) {
-				cfg := base
-				if cfg.OS == capture.Linux {
-					cfg.BufferBytes = kb << 10
-				} else {
-					cfg.BufferBytes = kb << 10 / 2
-				}
-				cells = append(cells, core.Cell{Cfg: cfg, W: w})
-			}
-		}
-		stats := core.RunCells(cells, o.Parallelism)
+		kbs, cells, sts := bufferSweepRun(o, cpuMod)
+		nsys := len(systems(cpuMod))
+		return cellSeries(cells, sts, func(i int) float64 { return float64(kbs[i/nsys]) })
+	}
+	run := func(o Options) string {
+		o = o.withDefaults()
+		kbs, cells, sts := bufferSweepRun(o, cpuMod)
+		nsys := len(systems(cpuMod))
 		var out strings.Builder
 		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
 		fmt.Fprintln(&out, "# kB\tsystem\trate%\tcpu%")
-		for i, st := range stats {
+		for i, st := range sts {
 			fmt.Fprintf(&out, "%d\t%s\t%6.2f\t%6.2f\n",
-				kbs[i/len(systems(cpuMod))], cells[i].Cfg.Name, st.CaptureRate(), st.CPUUsage())
+				kbs[i/nsys], cells[i].Cfg.Name, st.CaptureRate(), st.CPUUsage())
+		}
+		if o.Why {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatWhy(cellSeries(cells, sts,
+				func(i int) float64 { return float64(kbs[i/nsys]) })))
 		}
 		return out.String()
 	}
+	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-// multiApp reproduces Figures 6.7–6.9: n applications, SMP, with the
-// worst/average/best per-application lines.
-func multiApp(n int) func(o Options) string {
-	return func(o Options) string {
-		o = o.withDefaults()
-		var cells []core.Cell
-		for _, r := range o.Rates {
-			w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
-			for _, base := range systems(bigBuffers, dual) {
-				cfg := base
-				cfg.NumApps = n
-				cells = append(cells, core.Cell{Cfg: cfg, W: w})
+func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats) {
+	w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
+	for kb := 128; kb <= 262144; kb *= 2 {
+		kbs = append(kbs, kb)
+		for _, base := range systems(cpuMod) {
+			cfg := base
+			if cfg.OS == capture.Linux {
+				cfg.BufferBytes = kb << 10
+			} else {
+				cfg.BufferBytes = kb << 10 / 2
 			}
+			cells = append(cells, core.Cell{Cfg: cfg, W: w})
 		}
-		stats := core.RunCells(cells, o.Parallelism)
+	}
+	return kbs, cells, core.RunCells(cells, o.Parallelism)
+}
+
+// multiAppExpt reproduces Figures 6.7–6.9: n applications, SMP, with the
+// worst/average/best per-application lines.
+func multiAppExpt(id, paper, title string, n int) Experiment {
+	series := func(o Options) []core.Series {
+		o = o.withDefaults()
+		cells, sts := multiAppRun(o, n)
+		nsys := len(systems(bigBuffers, dual))
+		return cellSeries(cells, sts, func(i int) float64 { return o.Rates[i/nsys] })
+	}
+	run := func(o Options) string {
+		o = o.withDefaults()
+		cells, sts := multiAppRun(o, n)
 		nsys := len(systems(bigBuffers, dual))
 		var out strings.Builder
 		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
 		fmt.Fprintln(&out, "# rate\tsystem\tworst%\tavg%\tbest%\tcpu%")
-		for i, st := range stats {
+		for i, st := range sts {
 			wo, av, be := st.AppRates()
 			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%6.2f\n",
 				o.Rates[i/nsys], cells[i].Cfg.Name, wo, av, be, st.CPUUsage())
 		}
+		if o.Why {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatWhy(cellSeries(cells, sts,
+				func(i int) float64 { return o.Rates[i/nsys] })))
+		}
 		return out.String()
 	}
+	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-// mmapCompare reproduces Figure 6.15: the two Linux systems with and
-// without the memory-mapped libpcap.
-func mmapCompare(cpuMod modifier) func(o Options) string {
-	return func(o Options) string {
-		o = o.withDefaults()
+func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats) {
+	var cells []core.Cell
+	for _, r := range o.Rates {
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
+		for _, base := range systems(bigBuffers, dual) {
+			cfg := base
+			cfg.NumApps = n
+			cells = append(cells, core.Cell{Cfg: cfg, W: w})
+		}
+	}
+	return cells, core.RunCells(cells, o.Parallelism)
+}
+
+// mmapConfigs builds Figure 6.15's systems: the two Linux machines with
+// and without the memory-mapped libpcap.
+func mmapConfigs(cpuMod modifier) func() []capture.Config {
+	return func() []capture.Config {
 		var cfgs []capture.Config
 		for _, mk := range []func() capture.Config{core.Swan, core.Snipe} {
 			stock := bigBuffers(cpuMod(mk()))
@@ -263,16 +350,13 @@ func mmapCompare(cpuMod modifier) func(o Options) string {
 			patched.MmapPatch = true
 			cfgs = append(cfgs, stock, patched)
 		}
-		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-		series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-		return core.FormatTable("mmap'd libpcap vs stock on Linux", series)
+		return cfgs
 	}
 }
 
-// runHyperthreading reproduces Figure 6.16: the Intel systems, SMP, HT on
+// htConfigs builds Figure 6.16's systems: the Intel machines, SMP, HT on
 // and off.
-func runHyperthreading(o Options) string {
-	o = o.withDefaults()
+func htConfigs() []capture.Config {
 	var cfgs []capture.Config
 	for _, mk := range []func() capture.Config{core.Snipe, core.Flamingo} {
 		off := bigBuffers(dual(mk()))
@@ -281,15 +365,13 @@ func runHyperthreading(o Options) string {
 		on.Hyperthreading = true
 		cfgs = append(cfgs, off, on)
 	}
-	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-	return core.FormatTable("Hyperthreading on vs off (Intel Xeon systems)", series)
+	return cfgs
 }
 
-// runOSVersion reproduces Figure B.1: FreeBSD 5.2.1 vs 5.4. The 5.2.1
-// kernel (fully Giant-locked network path) pays a per-packet cost factor.
-func runOSVersion(o Options) string {
-	o = o.withDefaults()
+// osVersionConfigs builds Figure B.1's systems: FreeBSD 5.2.1 vs 5.4. The
+// 5.2.1 kernel (fully Giant-locked network path) pays a per-packet cost
+// factor.
+func osVersionConfigs() []capture.Config {
 	const giantFactor = 1.35
 	var cfgs []capture.Config
 	for _, mk := range []func() capture.Config{core.Moorhen, core.Flamingo} {
@@ -302,9 +384,7 @@ func runOSVersion(o Options) string {
 		v521.KernelCostFactor *= giantFactor
 		cfgs = append(cfgs, v54, v521)
 	}
-	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-	return core.FormatTable("FreeBSD 5.4 vs 5.2.1", series)
+	return cfgs
 }
 
 // --- chapter 4 experiments ----------------------------------------------

@@ -14,22 +14,23 @@ import (
 // its §7.2 future-work items and ablations of the model's design choices.
 func extensions() []Experiment {
 	return []Experiment{
-		{"ext-pfring", "§7.2 / [Der05]", "ring-buffer capturing stack (PF_RING-style) on Linux", runPFRing},
-		{"ext-bsdmmap", "§7.2", "memory-mapped (zero-copy read) libpcap for FreeBSD", runBSDMmap},
-		{"ext-workers", "§7.2 / [DV04]", "multithreaded packet analysis on multiprocessors", runWorkers},
-		{"ext-10gbe", "§7.2", "outlook: the same systems against 10 Gigabit Ethernet", run10GbE},
-		{"ext-production", "§2.3/§4.1.4", "a production day on the MWN uplink (filter + flows + header traces)", runProduction},
-		{"ext-moderation", "§2.2.1", "interrupt moderation: CPU relief vs timestamp accuracy", runModeration},
-		{"abl-housekeeping", "model ablation", "default-buffer drop onset with and without OS housekeeping stalls", runAblHousekeeping},
-		{"abl-contention", "model ablation", "Xeon front-side-bus contention on vs off under copy load", runAblContention},
+		sweepExpt("ext-pfring", "§7.2 / [Der05]", "ring-buffer capturing stack (PF_RING-style) on Linux",
+			"stock vs PACKET_MMAP vs ring stack (Linux, single CPU)", pfRingConfigs),
+		sweepExpt("ext-bsdmmap", "§7.2", "memory-mapped (zero-copy read) libpcap for FreeBSD",
+			"FreeBSD stock vs memory-mapped read (single CPU)", bsdMmapConfigs),
+		expt("ext-workers", "§7.2 / [DV04]", "multithreaded packet analysis on multiprocessors", runWorkers),
+		expt("ext-10gbe", "§7.2", "outlook: the same systems against 10 Gigabit Ethernet", run10GbE),
+		expt("ext-production", "§2.3/§4.1.4", "a production day on the MWN uplink (filter + flows + header traces)", runProduction),
+		expt("ext-moderation", "§2.2.1", "interrupt moderation: CPU relief vs timestamp accuracy", runModeration),
+		expt("abl-housekeeping", "model ablation", "default-buffer drop onset with and without OS housekeeping stalls", runAblHousekeeping),
+		expt("abl-contention", "model ablation", "Xeon front-side-bus contention on vs off under copy load", runAblContention),
 	}
 }
 
-// runPFRing compares the stock Linux stack, PACKET_MMAP, and the
+// pfRingConfigs compares the stock Linux stack, PACKET_MMAP, and the
 // ring-buffer stack on the Linux systems at single-CPU (where the Linux
 // stack hurts most).
-func runPFRing(o Options) string {
-	o = o.withDefaults()
+func pfRingConfigs() []capture.Config {
 	var cfgs []capture.Config
 	for _, mk := range []func() capture.Config{core.Swan, core.Snipe} {
 		stock := bigBuffers(single(mk()))
@@ -41,16 +42,13 @@ func runPFRing(o Options) string {
 		ring.PFRing = true
 		cfgs = append(cfgs, stock, mmap, ring)
 	}
-	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-	return core.FormatTable("stock vs PACKET_MMAP vs ring stack (Linux, single CPU)", series)
+	return cfgs
 }
 
-// runBSDMmap evaluates the zero-copy read for FreeBSD the thesis proposes:
-// "since FreeBSD seems to perform better than Linux in general, this could
-// boost the capturing rates and reduce the CPU load" (§7.2).
-func runBSDMmap(o Options) string {
-	o = o.withDefaults()
+// bsdMmapConfigs evaluates the zero-copy read for FreeBSD the thesis
+// proposes: "since FreeBSD seems to perform better than Linux in general,
+// this could boost the capturing rates and reduce the CPU load" (§7.2).
+func bsdMmapConfigs() []capture.Config {
 	var cfgs []capture.Config
 	for _, mk := range []func() capture.Config{core.Moorhen, core.Flamingo} {
 		stock := bigBuffers(single(mk()))
@@ -59,9 +57,7 @@ func runBSDMmap(o Options) string {
 		mm.MmapPatch = true
 		cfgs = append(cfgs, stock, mm)
 	}
-	w := core.Workload{Packets: o.Packets, Seed: o.Seed}
-	series := core.SweepRatesParallel(cfgs, o.Rates, w, o.Reps, o.Parallelism)
-	return core.FormatTable("FreeBSD stock vs memory-mapped read (single CPU)", series)
+	return cfgs
 }
 
 // runWorkers runs the heavy zlib-3 analysis load inline vs on two worker

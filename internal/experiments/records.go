@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"repro/internal/capture"
+)
+
+// Record is one machine-readable measurement point, the unit of the
+// `experiment -json` output (one NDJSON object per line).
+type Record struct {
+	Experiment string  `json:"experiment"`
+	System     string  `json:"system"`
+	X          float64 `json:"x"` // data rate Mbit/s, buffer kB, ...
+	RatePct    float64 `json:"ratePct"`
+	RateMinPct float64 `json:"rateMinPct"`
+	RateMaxPct float64 `json:"rateMaxPct"`
+	CPUPct     float64 `json:"cpuPct"`
+	Generated  uint64  `json:"generated"`
+	Dropped    uint64  `json:"dropped"`
+	// Drops is the per-cause ledger of the point, summed over repetitions.
+	Drops capture.Ledger `json:"drops"`
+	// Truncated counts repetitions that hit the simulation safety cap.
+	Truncated int `json:"truncated,omitempty"`
+}
+
+// Records flattens an experiment's series into JSON-ready rows. It returns
+// nil for experiments without a structured series form (distribution
+// plots, histograms); `experiment -json` skips those.
+func Records(e Experiment, o Options) []Record {
+	if e.Series == nil {
+		return nil
+	}
+	var recs []Record
+	for _, s := range e.Series(o) {
+		for _, p := range s.Points {
+			total, _ := p.Drops.Total()
+			recs = append(recs, Record{
+				Experiment: e.ID,
+				System:     s.System,
+				X:          p.X,
+				RatePct:    p.Rate,
+				RateMinPct: p.RateMin,
+				RateMaxPct: p.RateMax,
+				CPUPct:     p.CPU,
+				Generated:  p.Generated,
+				Dropped:    total,
+				Drops:      p.Drops,
+				Truncated:  p.Truncated,
+			})
+		}
+	}
+	return recs
+}
