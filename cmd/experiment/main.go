@@ -5,12 +5,15 @@
 //	experiment -id fig6.3-smp -packets 100000 -reps 3
 //	experiment -id fig6.3-smp -parallel -1   # all CPUs, identical output
 //	experiment -all -packets 40000 > results.txt
+//	experiment -id fig6.2-smp -chaos 42      # fault-injected, supervised
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,90 +22,144 @@ import (
 	"repro/internal/experiments"
 )
 
-func main() {
-	var (
-		list    = flag.Bool("list", false, "list all experiment ids")
-		id      = flag.String("id", "", "experiment id to run")
-		all     = flag.Bool("all", false, "run every experiment")
-		packets = flag.Int("packets", 40_000, "packets per run (thesis: 1000000)")
-		reps    = flag.Int("reps", 1, "repetitions per point (thesis: 7)")
-		seed    = flag.Uint64("seed", 1, "base random seed")
-		rates    = flag.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
-		parallel = flag.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
-		gpDir    = flag.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
-		why      = flag.Bool("why", false, "append the per-point drop-cause table to each experiment")
-		jsonOut  = flag.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
-	)
-	flag.Parse()
+// Exit codes (documented in -h):
+//
+//	0  success
+//	1  runtime failure (unknown experiment id, output write error)
+//	2  usage error (bad flags or arguments)
+const (
+	exitOK      = 0
+	exitRuntime = 1
+	exitUsage   = 2
+)
 
-	o := experiments.Options{Packets: *packets, Reps: *reps, Seed: *seed, Parallelism: *parallel, Why: *why}
+// usageError marks failures that are the caller's fault (exit code 2).
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a single exit point: every output
+// writer is flushed by defer before the exit code reaches main's
+// os.Exit, so no table is ever truncated by an early error path.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list     = fs.Bool("list", false, "list all experiment ids")
+		id       = fs.String("id", "", "experiment id to run")
+		all      = fs.Bool("all", false, "run every experiment")
+		packets  = fs.Int("packets", 40_000, "packets per run (thesis: 1000000)")
+		reps     = fs.Int("reps", 1, "repetitions per point (thesis: 7)")
+		seed     = fs.Uint64("seed", 1, "base random seed")
+		rates    = fs.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
+		parallel = fs.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
+		gpDir    = fs.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
+		why      = fs.Bool("why", false, "append the per-point drop-cause table to each experiment")
+		jsonOut  = fs.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
+		chaos    = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "Usage of experiment:")
+		fs.PrintDefaults()
+		fmt.Fprintln(stderr, "\nExit codes:")
+		fmt.Fprintln(stderr, "  0  success")
+		fmt.Fprintln(stderr, "  1  runtime failure (unknown experiment id, output write error)")
+		fmt.Fprintln(stderr, "  2  usage error (bad flags or arguments)")
+	}
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+
+	// Buffer stdout: experiments emit many small writes, and routing them
+	// through one deferred flush is what makes the single-exit-point
+	// design matter.
+	out := bufio.NewWriter(stdout)
+	defer out.Flush()
+
+	o := experiments.Options{
+		Packets: *packets, Reps: *reps, Seed: *seed,
+		Parallelism: *parallel, Why: *why, Chaos: *chaos,
+	}
 	if *rates != "" {
 		for _, f := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiment: bad rate %q\n", f)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "experiment: bad rate %q\n", f)
+				return exitUsage
 			}
 			o.Rates = append(o.Rates, v)
 		}
 	}
 
-	switch {
-	case *list:
-		for _, e := range experiments.All() {
-			fmt.Printf("%-14s %-18s %s\n", e.ID, e.Paper, e.Title)
-		}
-	case *all:
-		for _, e := range experiments.All() {
-			if *jsonOut {
-				if err := writeJSON(e, o); err != nil {
-					fmt.Fprintln(os.Stderr, "experiment:", err)
-					os.Exit(1)
-				}
-				continue
-			}
-			fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
-			out := e.Run(o)
-			fmt.Println(out)
-			if err := writeGnuplot(*gpDir, e, out); err != nil {
-				fmt.Fprintln(os.Stderr, "experiment:", err)
-				os.Exit(1)
-			}
-		}
-	case *id != "":
-		e, err := experiments.Find(*id)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "experiment:", err)
-			os.Exit(1)
-		}
-		if *jsonOut {
-			if e.Series == nil {
-				fmt.Fprintf(os.Stderr, "experiment: %s has no structured series form\n", e.ID)
-				os.Exit(1)
-			}
-			if err := writeJSON(e, o); err != nil {
-				fmt.Fprintln(os.Stderr, "experiment:", err)
-				os.Exit(1)
-			}
-			return
-		}
-		fmt.Printf("==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
-		out := e.Run(o)
-		fmt.Println(out)
-		if err := writeGnuplot(*gpDir, e, out); err != nil {
-			fmt.Fprintln(os.Stderr, "experiment:", err)
-			os.Exit(1)
-		}
-	default:
-		flag.Usage()
-		os.Exit(2)
+	err := dispatch(out, o, *list, *all, *id, *jsonOut, *gpDir)
+	if err == nil {
+		return exitOK
 	}
+	if ue, ok := err.(*usageError); ok {
+		if ue.msg != "" {
+			fmt.Fprintln(stderr, "experiment:", ue.msg)
+		}
+		fs.Usage()
+		return exitUsage
+	}
+	fmt.Fprintln(stderr, "experiment:", err)
+	return exitRuntime
+}
+
+// dispatch selects and executes the requested mode; all failures come
+// back as errors so run keeps the single exit point.
+func dispatch(out io.Writer, o experiments.Options, list, all bool, id string, jsonOut bool, gpDir string) error {
+	switch {
+	case list:
+		for _, e := range experiments.All() {
+			fmt.Fprintf(out, "%-14s %-18s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	case all:
+		for _, e := range experiments.All() {
+			if err := runOne(out, e, o, jsonOut, gpDir, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	case id != "":
+		e, err := experiments.Find(id)
+		if err != nil {
+			return err
+		}
+		return runOne(out, e, o, jsonOut, gpDir, false)
+	default:
+		return &usageError{}
+	}
+}
+
+// runOne executes one experiment in the requested output form. In -all
+// mode (skipMissing), experiments without a series form are skipped for
+// -json instead of failing.
+func runOne(out io.Writer, e experiments.Experiment, o experiments.Options, jsonOut bool, gpDir string, skipMissing bool) error {
+	if jsonOut {
+		if e.Series == nil {
+			if skipMissing {
+				return nil
+			}
+			return fmt.Errorf("%s has no structured series form", e.ID)
+		}
+		return writeJSON(out, e, o)
+	}
+	fmt.Fprintf(out, "==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
+	text := e.Run(o)
+	fmt.Fprintln(out, text)
+	return writeGnuplot(gpDir, e, text)
 }
 
 // writeJSON emits the experiment's measurement points as NDJSON, one
 // record per (x, system) point.
-func writeJSON(e experiments.Experiment, o experiments.Options) error {
-	enc := json.NewEncoder(os.Stdout)
+func writeJSON(out io.Writer, e experiments.Experiment, o experiments.Options) error {
+	enc := json.NewEncoder(out)
 	for _, r := range experiments.Records(e, o) {
 		if err := enc.Encode(r); err != nil {
 			return err

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the documented exit-code contract of run():
+// 0 success, 1 runtime failure, 2 usage error.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"list", []string{"-list"}, 0},
+		{"no mode", nil, 2},
+		{"bad flag", []string{"-no-such-flag"}, 2},
+		{"bad rate", []string{"-id", "fig4.2", "-rates", "abc"}, 2},
+		{"unknown id", []string{"-id", "nope"}, 1},
+		{"json without series", []string{"-id", "fig4.1", "-json"}, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := run(c.args, &out, &errb); got != c.code {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", c.args, got, c.code, errb.String())
+			}
+		})
+	}
+}
+
+// TestRunFlushesBufferedOutput: the table must reach the writer even
+// though stdout is buffered — the deferred flush is the point of the
+// single-exit-point design.
+func TestRunFlushesBufferedOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-id", "fig4.2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "top-20 packet sizes") {
+		t.Fatalf("table not flushed to stdout:\n%s", out.String())
+	}
+}
+
+// TestRunUsageDocumentsExitCodes: -h must describe the exit codes.
+func TestRunUsageDocumentsExitCodes(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+		t.Fatalf("-h exit = %d, want 2", code)
+	}
+	usage := errb.String()
+	for _, want := range []string{"Exit codes:", "0  success", "1  runtime failure", "2  usage error", "-chaos"} {
+		if !strings.Contains(usage, want) {
+			t.Fatalf("usage missing %q:\n%s", want, usage)
+		}
+	}
+}
+
+// TestRunChaosFlag: -chaos threads through to the experiments layer and
+// surfaces the bookkeeping table.
+func TestRunChaosFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{"-id", "fig6.2-nosmp", "-packets", "2000", "-rates", "300,700", "-chaos", "42"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "# chaos: attempts / quarantined / rejected repetitions per point") {
+		t.Fatalf("chaos table missing:\n%s", out.String())
+	}
+}

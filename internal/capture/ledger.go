@@ -51,6 +51,16 @@ const (
 	// modeled drops above — these packets were not lost by the system under
 	// test but by the measurement ending.
 	CauseAbandoned
+	// CauseFaultSplitter: frames lost on a degraded splitter leg (injected
+	// by the fault model, internal/faults): the switch counted them but the
+	// sniffer's fiber never delivered them. Booked before the NIC, so the
+	// loss is shared by every application on the sniffer and the
+	// conservation check balances against the switch's ground truth.
+	CauseFaultSplitter
+	// CauseFaultGenerator: frames the generator was supposed to emit but
+	// never did (injected underrun or mid-train stall). Booked when a
+	// faulted repetition is normalized against the intended train length.
+	CauseFaultGenerator
 
 	NumCauses
 )
@@ -78,6 +88,10 @@ func (c Cause) String() string {
 		return "disk-queue"
 	case CauseAbandoned:
 		return "abandoned"
+	case CauseFaultSplitter:
+		return "fault-splitter"
+	case CauseFaultGenerator:
+		return "fault-generator"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -89,7 +103,8 @@ func (c Cause) String() string {
 // of applications. Per-app causes (rcvbuf, BPF buffer, filter, abandoned
 // remnants) are recorded once per affected application already.
 func (c Cause) Shared() bool {
-	return c == CauseNICRing || c == CauseModeration || c == CauseBacklog
+	return c == CauseNICRing || c == CauseModeration || c == CauseBacklog ||
+		c == CauseFaultSplitter || c == CauseFaultGenerator
 }
 
 // DropRecord accumulates the drops of one cause: packet and byte counts
@@ -201,6 +216,21 @@ func (l Ledger) MarshalJSON() ([]byte, error) {
 	}
 	b.WriteByte('}')
 	return []byte(b.String()), nil
+}
+
+// BookFaultLoss accounts pkts frames (bytes total, last seen around time
+// at) that an injected fault withheld from a run: the testbed's ground
+// truth says they were offered, but the system under test never saw them
+// (degraded splitter leg, generator underrun). The frames are booked under
+// the fault cause — which is Shared, since no application could capture
+// them — and added back to Generated, so CheckConservation balances the
+// run against the ground-truth count instead of the shortened train.
+func (s *Stats) BookFaultLoss(c Cause, pkts int, bytes uint64, at sim.Time) {
+	if pkts <= 0 {
+		return
+	}
+	s.Ledger.RecordN(c, pkts, bytes, at)
+	s.Generated += uint64(pkts)
 }
 
 // Gauge tracks the occupancy of one finite buffer over a run: the

@@ -136,6 +136,40 @@ func TestTruncatedRunBooksAbandoned(t *testing.T) {
 	}
 }
 
+// TestFaultLossConservation pins that injected fault losses booked via
+// BookFaultLoss keep the conservation check balanced against the
+// ground-truth train length: a run that was offered fewer packets than the
+// switch counted must book the difference under a fault-* cause and then
+// balance as if the full train had been offered.
+func TestFaultLossConservation(t *testing.T) {
+	cfg := moorhenCfg()
+	cfg.NumApps = 2
+	sys := NewSystem(scaled(cfg, 3000))
+	st := sys.Run(newGen(2900, 400, 3)) // 100 frames short of the "switch count"
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	st.BookFaultLoss(CauseFaultSplitter, 100, 64000, 12345)
+	if st.Generated != 3000 {
+		t.Fatalf("Generated = %d after booking, want 3000", st.Generated)
+	}
+	if !CauseFaultSplitter.Shared() || !CauseFaultGenerator.Shared() {
+		t.Fatal("fault causes must be shared (lost before the per-app fan-out)")
+	}
+	if err := st.CheckConservation(); err != nil {
+		t.Fatalf("conservation with booked fault loss: %v", err)
+	}
+	if d := st.Ledger.Drops[CauseFaultSplitter]; d.Packets != 100 || d.Bytes != 64000 {
+		t.Fatalf("fault-splitter record = %+v", d)
+	}
+	if got := CauseFaultSplitter.String(); got != "fault-splitter" {
+		t.Fatalf("cause name = %q", got)
+	}
+	if got := CauseFaultGenerator.String(); got != "fault-generator" {
+		t.Fatalf("cause name = %q", got)
+	}
+}
+
 // TestSystemReuseIdentical is the regression test for stale per-run state
 // (accumulated busy counters and the RunWithArrivals gap index): a reused
 // System fed the identical train must report identical Stats.

@@ -179,6 +179,24 @@ type Point struct {
 	Drops capture.Ledger
 	// Truncated counts repetitions that hit the simulation safety cap.
 	Truncated int
+
+	// Chaos bookkeeping, filled by the resilient engine (resilient.go)
+	// when fault injection is active; all zero on clean runs.
+	//
+	// Attempts is the total number of cycle attempts spent on this point
+	// (reps on a clean run; more when faults forced retries). Quarantined
+	// counts repetitions that never produced a valid run within the retry
+	// budget; Rejected counts valid repetitions the MAD outlier rejection
+	// discarded. Degraded marks a point whose accepted data is impaired:
+	// a degraded splitter leg was booked into it, or no repetition
+	// survived at all (the rate fields are then zero, not measured).
+	// FaultLog is the compact per-point fault history ("rep0.1
+	// swan:sniffer-hang; …"); a string so Point stays comparable.
+	Attempts    int
+	Quarantined int
+	Rejected    int
+	Degraded    bool
+	FaultLog    string
 }
 
 // Series is the result of sweeping one system over x values.

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -22,6 +23,11 @@ const repSeedStride = 7919
 type Cell struct {
 	Cfg capture.Config
 	W   Workload
+	// Wrap, when non-nil, wraps the replayed feed before the run — the
+	// hook the fault-injection supervisor uses for degraded splitter legs
+	// and truncated generator trains (and tests use for failure hooks).
+	// The recorded feed itself stays shared and pristine.
+	Wrap func(capture.Source) capture.Source
 }
 
 // Workers resolves a parallelism knob to a worker count: 0 keeps the
@@ -34,21 +40,80 @@ func Workers(parallelism int) int {
 	return parallelism
 }
 
+// CellPanicError reports a measurement cell whose run panicked. The
+// worker recovers it so one broken configuration cannot kill the whole
+// sweep process or leave sibling workers blocked; the resilient supervisor
+// treats it as a failed attempt and retries the cell.
+type CellPanicError struct {
+	Index  int
+	System string
+	Value  any
+	Stack  []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("core: cell %d (%s) panicked: %v", e.Index, e.System, e.Value)
+}
+
 // RunCells executes independent measurement cells and returns their
 // statistics in cell order. workers follows the Workers convention
 // (0 = serial). Cells with an identical Workload share one recorded feed
 // regardless of worker count, so a four-sniffer column generates its train
 // exactly once — the splitter semantics of Figure 3.1.
 //
-// Each cell owns a private sim.Sim (built by capture.NewSystem); the only
-// state crossing goroutines is the immutable feed and the result slot.
+// A panic inside a cell is recovered in the worker and re-raised here, in
+// the caller's goroutine, only after every other cell has completed — the
+// pool always drains, no sibling goroutine is left blocked on the job
+// channel. Callers that want to survive a failed cell use RunCellsErr.
 func RunCells(cells []Cell, workers int) []capture.Stats {
+	results, errs := RunCellsErr(cells, workers)
+	for _, err := range errs {
+		if err != nil {
+			panic(err)
+		}
+	}
+	return results
+}
+
+// RunCellsErr is RunCells with per-cell failure capture: a panicking cell
+// yields a zero Stats and a *CellPanicError in the same slot instead of
+// crashing the process. Each cell owns a private sim.Sim (built by
+// capture.NewSystem); the only state crossing goroutines is the immutable
+// feed and the result/error slots.
+func RunCellsErr(cells []Cell, workers int) ([]capture.Stats, []error) {
+	return runCellsWith(cells, workers, NewFeedCache(DefaultFeedCacheSize), nil)
+}
+
+// runCellsWith is the pool body shared by RunCellsErr and the resilient
+// engine: an external feed cache lets retry waves reuse recorded trains,
+// and post — when non-nil — runs in the worker right after each cell,
+// inside the panic-recovery scope and while the cell's feed is still hot
+// in the cache (the resilient engine validates and books fault losses
+// there). A non-nil error from post lands in the cell's error slot.
+func runCellsWith(cells []Cell, workers int, feeds *FeedCache, post func(i int, st *capture.Stats) error) ([]capture.Stats, []error) {
 	results := make([]capture.Stats, len(cells))
-	feeds := NewFeedCache(DefaultFeedCacheSize)
+	errs := make([]error, len(cells))
 	runCell := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				errs[i] = &CellPanicError{
+					Index:  i,
+					System: cells[i].Cfg.Name,
+					Value:  r,
+					Stack:  stackTrace(),
+				}
+			}
+		}()
 		c := cells[i]
+		src := feeds.Get(c.W).Replay()
+		if c.Wrap != nil {
+			src = c.Wrap(src)
+		}
 		sys := capture.NewSystem(Prepare(c.Cfg, c.W))
-		results[i] = sys.RunSource(feeds.Get(c.W).Replay())
+		results[i] = sys.RunSource(src)
+		if post != nil {
+			errs[i] = post(i, &results[i])
+		}
 	}
 
 	workers = Workers(workers)
@@ -61,7 +126,7 @@ func RunCells(cells []Cell, workers int) []capture.Stats {
 		for i := range cells {
 			runCell(i)
 		}
-		return results
+		return results, errs
 	}
 
 	jobs := make(chan int)
@@ -80,7 +145,14 @@ func RunCells(cells []Cell, workers int) []capture.Stats {
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, errs
+}
+
+// stackTrace captures the recovering goroutine's stack for the panic
+// error.
+func stackTrace() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
 }
 
 // SweepRatesParallel is SweepRates with the measurement cells distributed

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"reflect"
 	"testing"
 
 	"repro/internal/capture"
+	"repro/internal/pktgen"
 )
 
 // TestSweepParallelMatchesSerial is the engine's hard invariant: for any
@@ -55,6 +57,74 @@ func TestRunCellsOrderAndFeedSharing(t *testing.T) {
 			t.Errorf("cell %d (%s): parallel result differs from direct run", i, cells[i].Cfg.Name)
 		}
 	}
+}
+
+// panicSource panics after emitting a few packets — the "deliberately
+// panicking System hook" of the worker-recovery regression test.
+type panicSource struct {
+	src   capture.Source
+	n     int
+	after int
+}
+
+func (s *panicSource) Reset() { s.src.Reset(); s.n = 0 }
+func (s *panicSource) Next() (p pktgen.Packet, ok bool) {
+	if s.n >= s.after {
+		panic("injected cell panic")
+	}
+	s.n++
+	return s.src.Next()
+}
+
+// TestRunCellsWorkerPanicRecovered is the regression test for the worker
+// panic: one panicking cell must not kill the process or leave sibling
+// goroutines blocked on the job channel — every other cell completes and
+// the failed cell comes back as a *CellPanicError the supervisor can
+// retry.
+func TestRunCellsWorkerPanicRecovered(t *testing.T) {
+	w := Workload{Packets: 1200, Seed: 4, TargetRate: 6e8}
+	var cells []Cell
+	for _, cfg := range Sniffers() {
+		cells = append(cells, Cell{Cfg: cfg, W: w})
+	}
+	bad := 1
+	cells[bad].Wrap = func(src capture.Source) capture.Source {
+		return &panicSource{src: src, after: 5}
+	}
+	// More cells than workers so a dying worker would strand queued jobs.
+	stats, errs := RunCellsErr(cells, 2)
+	for i := range cells {
+		if i == bad {
+			var pe *CellPanicError
+			if !errors.As(errs[i], &pe) {
+				t.Fatalf("cell %d: want CellPanicError, got %v", i, errs[i])
+			}
+			if pe.System != cells[bad].Cfg.Name || pe.Value != "injected cell panic" {
+				t.Fatalf("panic error = %+v", pe)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("healthy cell %d failed: %v", i, errs[i])
+		}
+		want := RunOnce(cells[i].Cfg, cells[i].W)
+		if !reflect.DeepEqual(stats[i], want) {
+			t.Errorf("cell %d: result differs after sibling panic", i)
+		}
+	}
+
+	// The legacy RunCells contract: the panic still surfaces (as a typed
+	// error value), but only after the pool has drained.
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("RunCells swallowed the cell panic")
+		}
+		if _, ok := r.(*CellPanicError); !ok {
+			t.Fatalf("RunCells re-raised %T, want *CellPanicError", r)
+		}
+	}()
+	RunCells(cells, 2)
 }
 
 func TestAggregateDefensive(t *testing.T) {

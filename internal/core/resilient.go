@@ -1,0 +1,397 @@
+// Resilient measurement engine: the fault-tolerant sibling of
+// parallel.go. A real Figure 3.1 testbed misbehaves — counters read
+// stale, the generator underruns, a sniffer hangs, the splitter degrades
+// a leg — so every measurement cell is run under per-cycle validation
+// with bounded retry (simulated-time backoff), quarantine of
+// irrecoverably bad repetitions, thesis-style outlier rejection across
+// the surviving repetitions, and graceful degradation: a dead sniffer's
+// points are marked Degraded instead of aborting the sweep. Injected
+// losses are booked into the drop-cause ledger under the fault-* causes,
+// so the conservation check holds against the switch's ground truth.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/capture"
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// ChaosOptions configure the resilient cell runner.
+type ChaosOptions struct {
+	// Plan is the seeded fault model; nil injects nothing (the engine then
+	// only adds panic recovery and retry on top of the plain pool).
+	Plan *faults.Plan
+	// RetryBudget is the number of retries per cell beyond the first
+	// attempt (default 3).
+	RetryBudget int
+	// BackoffNS is the simulated control-host backoff before the first
+	// retry; it doubles per further retry (default 250 ms — rerunning a
+	// cycle in the real testbed costs seconds, the backoff models the
+	// "wait and re-poll" step without consuming wall-clock time).
+	BackoffNS float64
+	// MADK is the outlier-rejection threshold: a surviving repetition is
+	// rejected when its capturing rate deviates from the per-point median
+	// by more than MADK × MAD (default 3.5).
+	MADK float64
+	// MADFloor is the absolute deviation (percentage points) below which a
+	// repetition is never rejected, guarding the MAD ≈ 0 case of
+	// near-identical repetitions (default 0.5).
+	MADFloor float64
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.RetryBudget <= 0 {
+		o.RetryBudget = 3
+	}
+	if o.BackoffNS <= 0 {
+		o.BackoffNS = 250e6
+	}
+	if o.MADK <= 0 {
+		o.MADK = 3.5
+	}
+	if o.MADFloor <= 0 {
+		o.MADFloor = 0.5
+	}
+	return o
+}
+
+// CellID names a cell for the fault model: the measurement point it
+// belongs to (a stable fingerprint, e.g. the x value's bits) and the
+// repetition index. Faults are drawn from (plan seed, point, system,
+// rep, attempt), never from execution order, so chaos runs are exactly
+// reproducible for any worker count.
+type CellID struct {
+	Point uint64
+	Rep   int
+}
+
+// CellOutcome is the supervised result of one measurement cell.
+type CellOutcome struct {
+	Stats capture.Stats
+	// OK: a validated Stats was produced (possibly degraded). When false
+	// the cell is quarantined and Stats holds the last failed attempt's
+	// partial data (zero if the sniffer never returned statistics).
+	OK bool
+	// Degraded: the accepted run was offered fewer frames than the switch
+	// counted (degraded splitter leg); the shortfall is booked in the
+	// ledger under fault-splitter and Generated is normalized, so the
+	// stats balance but the capturing rate reflects the impairment.
+	Degraded bool
+	// Quarantined: no attempt within the retry budget produced a valid
+	// run.
+	Quarantined bool
+	// Attempts is the number of cycle attempts spent (1 = clean first
+	// try).
+	Attempts int
+	// BackoffNS is the simulated control-host time spent backing off
+	// between attempts.
+	BackoffNS float64
+	// Log is the cell's fault-and-retry history, oldest first.
+	Log []string
+}
+
+// cellFault is a validation failure of one attempt (distinct from a
+// CellPanicError, which the pool produces).
+type cellFault struct{ reason string }
+
+func (e *cellFault) Error() string { return e.reason }
+
+// RunCellsResilient executes the cells under the fault plan with
+// validation, bounded retry and quarantine. ids must parallel cells.
+// Results are in cell order; the call always returns — a cell that cannot
+// be measured is quarantined, never retried forever, and a panicking cell
+// is recovered and retried like any other failed attempt.
+func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions) []CellOutcome {
+	if len(ids) != len(cells) {
+		panic(fmt.Sprintf("core: %d ids for %d cells", len(ids), len(cells)))
+	}
+	co = co.withDefaults()
+	outs := make([]CellOutcome, len(cells))
+	feeds := NewFeedCache(DefaultFeedCacheSize)
+
+	pending := make([]int, len(cells))
+	for i := range cells {
+		pending[i] = i
+	}
+
+	logf := func(i int, format string, args ...any) {
+		outs[i].Log = append(outs[i].Log, fmt.Sprintf(format, args...))
+	}
+
+	for attempt := 0; attempt <= co.RetryBudget && len(pending) > 0; attempt++ {
+		// Retries pay the control host's simulated backoff, doubling per
+		// attempt (capped by the retry budget, so this stays bounded).
+		if attempt > 0 {
+			backoff := co.BackoffNS * float64(int(1)<<(attempt-1))
+			for _, i := range pending {
+				outs[i].BackoffNS += backoff
+			}
+		}
+
+		// Draw this attempt's faults and split the pending cells into
+		// "runs" (possibly with wrapped sources) and "fails fast" (the
+		// sniffer is hung, crashed or dead — no run, no statistics).
+		var batch []Cell
+		var batchIdx []int
+		type injected struct {
+			lossy *faults.LossySource
+			trunc *faults.TruncatedSource
+			stale bool
+		}
+		var inj []*injected
+		for _, i := range pending {
+			c := cells[i]
+			id := ids[i]
+			outs[i].Attempts++
+			sf := co.Plan.Sniffer(c.Cfg.Name, id.Point, id.Rep, attempt)
+			if sf.Failed() {
+				switch {
+				case sf.Dead:
+					logf(i, "rep%d.%d %s:sniffer-dead", id.Rep, attempt, c.Cfg.Name)
+				case sf.Hang:
+					logf(i, "rep%d.%d %s:sniffer-hang", id.Rep, attempt, c.Cfg.Name)
+				default:
+					logf(i, "rep%d.%d %s:sniffer-crash", id.Rep, attempt, c.Cfg.Name)
+				}
+				continue
+			}
+			in := &injected{stale: co.Plan.Stale(id.Point, id.Rep, attempt)}
+			if in.stale {
+				logf(i, "rep%d.%d switch:snmp-stale", id.Rep, attempt)
+			}
+			frac, stall := co.Plan.Gen(id.Point, id.Rep, attempt)
+			if frac > 0 && frac < 1 {
+				if stall {
+					logf(i, "rep%d.%d gen:gen-stall(%.2g)", id.Rep, attempt, frac)
+				} else {
+					logf(i, "rep%d.%d gen:gen-underrun(%.2g)", id.Rep, attempt, frac)
+				}
+			}
+			if sf.LegLoss > 0 {
+				logf(i, "rep%d.%d %s:splitter-leg-loss(%.2g)", id.Rep, attempt, c.Cfg.Name, sf.LegLoss)
+			}
+			// Wrap the replayed feed with this attempt's injections. The
+			// closure runs in the worker; it writes only this cell's slot.
+			baseWrap := c.Wrap
+			legLoss := sf.LegLoss
+			legSeed := co.Plan.LegSeed(c.Cfg.Name, id.Point, id.Rep)
+			limitFrac := frac
+			packets := c.W.Packets
+			c.Wrap = func(src capture.Source) capture.Source {
+				if baseWrap != nil {
+					src = baseWrap(src)
+				}
+				if limitFrac > 0 && limitFrac < 1 {
+					in.trunc = faults.NewTruncatedSource(src, int(float64(packets)*limitFrac))
+					src = in.trunc
+				}
+				if legLoss > 0 {
+					in.lossy = faults.NewLossySource(src, legSeed, legLoss)
+					src = in.lossy
+				}
+				return src
+			}
+			batch = append(batch, c)
+			batchIdx = append(batchIdx, i)
+			inj = append(inj, in)
+		}
+
+		// Run the batch; validation happens in the worker while the cell's
+		// feed is still hot in the shared cache.
+		if len(batch) > 0 {
+			results, errs := runCellsWith(batch, workers, feeds, func(bi int, st *capture.Stats) error {
+				in := inj[bi]
+				expected := feeds.Get(batch[bi].W).Sent
+				// A degraded splitter leg is an environmental loss, not a
+				// measurement error: book the withheld frames so the run
+				// balances against the switch's ground truth.
+				if in.lossy != nil && in.lossy.Lost > 0 {
+					st.BookFaultLoss(capture.CauseFaultSplitter, in.lossy.Lost, in.lossy.LostBytes, in.lossy.LastAt)
+				}
+				if in.stale {
+					return &cellFault{reason: "stale SNMP read: switch delta 0"}
+				}
+				if st.Generated != expected {
+					return &cellFault{reason: fmt.Sprintf(
+						"switch counted %d frames, sniffer was offered %d", expected, st.Generated)}
+				}
+				if err := st.CheckConservation(); err != nil {
+					return &cellFault{reason: err.Error()}
+				}
+				return nil
+			})
+			for bi, i := range batchIdx {
+				if errs[bi] != nil {
+					logf(i, "rep%d.%d %s:retry: %v", ids[i].Rep, attempt, cells[i].Cfg.Name, errs[bi])
+					// Keep the last failed attempt's partial data so a
+					// quarantined cell is inspectable; book a generator
+					// shortfall so even the partial stats balance.
+					st := results[bi]
+					if in := inj[bi]; in.trunc != nil && in.trunc.Cut > 0 {
+						st.BookFaultLoss(capture.CauseFaultGenerator, in.trunc.Cut, in.trunc.CutBytes, in.trunc.LastAt)
+					}
+					outs[i].Stats = st
+					continue
+				}
+				outs[i].Stats = results[bi]
+				outs[i].OK = true
+				outs[i].Degraded = inj[bi].lossy != nil && inj[bi].lossy.Lost > 0
+			}
+		}
+
+		var next []int
+		for _, i := range pending {
+			if !outs[i].OK {
+				next = append(next, i)
+			}
+		}
+		pending = next
+	}
+
+	for _, i := range pending {
+		outs[i].Quarantined = true
+	}
+	return outs
+}
+
+// SweepRatesResilient is SweepRatesParallel under the fault plan: the same
+// cells, each supervised by RunCellsResilient, aggregated per point over
+// the repetitions that survived validation and the MAD outlier rejection.
+// Points whose accepted data is impaired are marked Degraded; the sweep
+// always completes. With a nil plan the numeric output matches
+// SweepRatesParallel exactly (the chaos counters then just record one
+// clean attempt per repetition).
+func SweepRatesResilient(cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, co ChaosOptions) []Series {
+	if reps <= 0 {
+		reps = 1
+	}
+	co = co.withDefaults()
+	// Identical cell layout to SweepRatesParallel: column-major, so the
+	// systems of one (rate, rep) column share one recorded feed.
+	cells := make([]Cell, 0, len(ratesMbit)*reps*len(cfgs))
+	ids := make([]CellID, 0, cap(cells))
+	for _, r := range ratesMbit {
+		for rep := 0; rep < reps; rep++ {
+			wl := w
+			wl.TargetRate = r * 1e6
+			wl.Seed = w.Seed + uint64(rep)*repSeedStride
+			for _, cfg := range cfgs {
+				cells = append(cells, Cell{Cfg: cfg, W: wl})
+				ids = append(ids, CellID{Point: pointKey(r), Rep: rep})
+			}
+		}
+	}
+	outs := RunCellsResilient(cells, ids, workers, co)
+
+	out := make([]Series, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i].System = cfg.Name
+		out[i].Points = make([]Point, 0, len(ratesMbit))
+		for ri, r := range ratesMbit {
+			column := make([]CellOutcome, reps)
+			for rep := 0; rep < reps; rep++ {
+				column[rep] = outs[(ri*reps+rep)*len(cfgs)+i]
+			}
+			pt := resolvePoint(cfg.Name, column, co)
+			pt.X = r
+			out[i].Points = append(out[i].Points, pt)
+		}
+	}
+	return out
+}
+
+// pointKey fingerprints a sweep point for the fault model.
+func pointKey(x float64) uint64 { return uint64(int64(x * 1e3)) }
+
+// resolvePoint folds one point's supervised repetitions into a plotted
+// Point: accepted runs pass through the thesis-style outlier rejection
+// (median absolute deviation on the capturing rate), the survivors
+// aggregate exactly like a clean point, and the chaos counters record what
+// the supervisor had to do to get there.
+func resolvePoint(system string, column []CellOutcome, co ChaosOptions) Point {
+	var accepted []CellOutcome
+	var pt Point
+	var log []string
+	for _, o := range column {
+		pt.Attempts += o.Attempts
+		if o.Quarantined {
+			pt.Quarantined++
+		} else {
+			accepted = append(accepted, o)
+		}
+		log = append(log, o.Log...)
+	}
+
+	rates := make([]float64, len(accepted))
+	for i, o := range accepted {
+		rates[i] = o.Stats.CaptureRate()
+	}
+	// Outlier rejection is part of the chaos supervision: with no fault
+	// plan every repetition is trusted, keeping the nil-plan output
+	// numerically identical to SweepRatesParallel even when legitimate
+	// repetitions spread widely.
+	reject := make([]bool, len(rates))
+	if co.Plan != nil {
+		reject = stats.MADOutliers(rates, co.MADK, co.MADFloor)
+	}
+	kept := make([]capture.Stats, 0, len(accepted))
+	degraded := false
+	for i, o := range accepted {
+		if reject[i] {
+			pt.Rejected++
+			log = append(log, fmt.Sprintf("%s:outlier-rejected(%.2f%%)", system, rates[i]))
+			continue
+		}
+		kept = append(kept, o.Stats)
+		degraded = degraded || o.Degraded
+	}
+
+	agg := aggregatePoint(system, kept)
+	agg.Attempts, agg.Quarantined, agg.Rejected = pt.Attempts, pt.Quarantined, pt.Rejected
+	agg.Degraded = degraded || len(kept) == 0
+	agg.FaultLog = strings.Join(log, "; ")
+	return agg
+}
+
+// FormatChaos renders the supervisor's per-point bookkeeping — attempts,
+// quarantined and outlier-rejected repetitions, degradation, fault log —
+// as the `experiment -chaos` companion table of FormatTable.
+func FormatChaos(series []Series) string {
+	var out strings.Builder
+	out.WriteString("# chaos: attempts / quarantined / rejected repetitions per point\n")
+	out.WriteString("# x\tsystem\tattempts\tquar\trej\tdegraded\tfaults\n")
+	for _, s := range series {
+		for _, p := range s.Points {
+			deg := "-"
+			if p.Degraded {
+				deg = "DEGRADED"
+			}
+			fl := p.FaultLog
+			if fl == "" {
+				fl = "-"
+			}
+			fmt.Fprintf(&out, "%.0f\t%s\t%d\t%d\t%d\t%s\t%s\n",
+				p.X, s.System, p.Attempts, p.Quarantined, p.Rejected, deg, fl)
+		}
+	}
+	return out.String()
+}
+
+// ChaosTotals sums the supervisor bookkeeping over a set of series — the
+// one-line summary the CLI prints after a chaos run.
+func ChaosTotals(series []Series) (attempts, quarantined, rejected, degraded int) {
+	for _, s := range series {
+		for _, p := range s.Points {
+			attempts += p.Attempts
+			quarantined += p.Quarantined
+			rejected += p.Rejected
+			if p.Degraded {
+				degraded++
+			}
+		}
+	}
+	return
+}

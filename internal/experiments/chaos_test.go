@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChaosFlagAppendsBookkeeping: with -chaos off the output is the
+// legacy byte stream; with -chaos on, the chaos table is appended and the
+// attempts column shows the supervisor at work. Covers the three sweep
+// shapes (rate sweep, buffer sweep, multi-app).
+func TestChaosFlagAppendsBookkeeping(t *testing.T) {
+	for _, id := range []string{"fig6.2-nosmp", "fig6.4-nosmp", "fig6.7"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			e, err := Find(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := fast()
+			o.Chaos = 42
+			out := e.Run(o)
+			if !strings.Contains(out, "# chaos: attempts / quarantined / rejected repetitions per point") {
+				t.Fatalf("-chaos output missing the chaos table:\n%s", out)
+			}
+		})
+	}
+}
+
+// TestChaosRecordsCarryBookkeeping: the NDJSON records of a chaos run
+// carry the supervisor's counters; a clean run leaves them zero.
+func TestChaosRecordsCarryBookkeeping(t *testing.T) {
+	e, err := Find("fig6.2-nosmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := Records(e, fast())
+	for _, r := range clean {
+		if r.Attempts != 0 || r.Quarantined != 0 || r.Rejected != 0 || r.Degraded || r.Faults != "" {
+			t.Fatalf("clean record has chaos fields: %+v", r)
+		}
+	}
+	o := fast()
+	o.Chaos = 7
+	o.Reps = 2
+	chaos := Records(e, o)
+	if len(chaos) != len(clean) {
+		t.Fatalf("chaos run lost points: %d vs %d", len(chaos), len(clean))
+	}
+	attempts, faults := 0, 0
+	for _, r := range chaos {
+		attempts += r.Attempts
+		if r.Faults != "" {
+			faults++
+		}
+	}
+	if attempts < len(chaos)*o.Reps {
+		t.Fatalf("attempts %d below one per repetition (%d points × %d reps)",
+			attempts, len(chaos), o.Reps)
+	}
+	if faults == 0 {
+		t.Fatal("default plan injected no logged fault across the sweep")
+	}
+}
+
+// TestChaosOffKeepsLegacyOutput: the chaos machinery must not perturb the
+// default path — same Options, chaos zero, byte-identical output.
+func TestChaosOffKeepsLegacyOutput(t *testing.T) {
+	e, err := Find("fig6.2-nosmp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := e.Run(fast()), e.Run(fast()); a != b {
+		t.Fatal("legacy output not reproducible")
+	}
+}

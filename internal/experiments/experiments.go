@@ -14,6 +14,7 @@ import (
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/faults"
 	"repro/internal/filter"
 	"repro/internal/pktgen"
 	"repro/internal/stats"
@@ -34,6 +35,18 @@ type Options struct {
 	// Why appends the per-point drop-cause breakdown (core.FormatWhy) to
 	// the rendered table — the `experiment -why` flag.
 	Why bool
+	// Chaos, when nonzero, runs the sweeps under the seeded fault-injection
+	// plan (faults.DefaultPlan) with the resilient supervisor: validation,
+	// bounded retry, quarantine, outlier rejection, graceful degradation.
+	// The chaos bookkeeping is appended to tables (core.FormatChaos) and
+	// carried in the NDJSON records. Zero keeps the legacy byte-identical
+	// output paths.
+	Chaos uint64
+}
+
+// chaosOptions builds the resilient engine's options from the -chaos seed.
+func (o Options) chaosOptions() core.ChaosOptions {
+	return core.ChaosOptions{Plan: faults.DefaultPlan(o.Chaos)}
 }
 
 func (o Options) withDefaults() Options {
@@ -186,17 +199,23 @@ func sysCfgs(mods ...modifier) func() []capture.Config {
 	return func() []capture.Config { return systems(mods...) }
 }
 
-// seriesSweep runs the standard §3.4 data-rate sweep over the configs.
+// seriesSweep runs the standard §3.4 data-rate sweep over the configs —
+// through the resilient supervisor when -chaos is set, the plain parallel
+// engine otherwise (the legacy path stays byte-identical).
 func seriesSweep(cfgs func() []capture.Config) func(o Options) []core.Series {
 	return func(o Options) []core.Series {
 		o = o.withDefaults()
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+		if o.Chaos != 0 {
+			return core.SweepRatesResilient(cfgs(), o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions())
+		}
 		return core.SweepRatesParallel(cfgs(), o.Rates, w, o.Reps, o.Parallelism)
 	}
 }
 
 // tableRun renders a sweep the way the thesis plots it, appending the
-// per-point drop-cause table when -why is set.
+// per-point drop-cause table when -why is set and the chaos bookkeeping
+// when -chaos is set.
 func tableRun(title string, series func(o Options) []core.Series) func(o Options) string {
 	return func(o Options) string {
 		o = o.withDefaults()
@@ -205,8 +224,31 @@ func tableRun(title string, series func(o Options) []core.Series) func(o Options
 		if o.Why {
 			out += "\n" + core.FormatWhy(s)
 		}
+		if o.Chaos != 0 {
+			out += "\n" + core.FormatChaos(s)
+		}
 		return out
 	}
+}
+
+// runCellsMaybeChaos executes per-cell sweeps (buffer sweep, multi-app)
+// through the resilient engine when -chaos is set. key fingerprints the
+// measurement point of cell i for the fault model. The returned outcomes
+// are nil on the legacy path.
+func runCellsMaybeChaos(o Options, cells []core.Cell, key func(i int) uint64) ([]capture.Stats, []core.CellOutcome) {
+	if o.Chaos == 0 {
+		return core.RunCells(cells, o.Parallelism), nil
+	}
+	ids := make([]core.CellID, len(cells))
+	for i := range cells {
+		ids[i] = core.CellID{Point: key(i), Rep: 0}
+	}
+	outs := core.RunCellsResilient(cells, ids, o.Parallelism, o.chaosOptions())
+	sts := make([]capture.Stats, len(cells))
+	for i := range outs {
+		sts[i] = outs[i].Stats
+	}
+	return sts, outs
 }
 
 // sweepExpt builds a data-rate-sweep experiment with both the rendered
@@ -218,8 +260,10 @@ func sweepExpt(id, paper, title, tableTitle string, cfgs func() []capture.Config
 }
 
 // cellSeries groups per-cell runs (laid out x-major, system-minor) into
-// one Series per system, with the given per-cell x value.
-func cellSeries(cells []core.Cell, sts []capture.Stats, x func(i int) float64) []core.Series {
+// one Series per system, with the given per-cell x value. outs, when
+// non-nil, carries the resilient engine's per-cell bookkeeping onto the
+// points.
+func cellSeries(cells []core.Cell, sts []capture.Stats, outs []core.CellOutcome, x func(i int) float64) []core.Series {
 	var series []core.Series
 	idx := map[string]int{}
 	for i, st := range sts {
@@ -230,8 +274,17 @@ func cellSeries(cells []core.Cell, sts []capture.Stats, x func(i int) float64) [
 			idx[name] = j
 			series = append(series, core.Series{System: name})
 		}
-		series[j].Points = append(series[j].Points,
-			core.AggregatePoint(name, x(i), []capture.Stats{st}))
+		pt := core.AggregatePoint(name, x(i), []capture.Stats{st})
+		if outs != nil {
+			out := outs[i]
+			pt.Attempts = out.Attempts
+			if out.Quarantined {
+				pt.Quarantined = 1
+			}
+			pt.Degraded = out.Degraded || out.Quarantined
+			pt.FaultLog = strings.Join(out.Log, "; ")
+		}
+		series[j].Points = append(series[j].Points, pt)
 	}
 	return series
 }
@@ -252,13 +305,13 @@ func systems(mods ...modifier) []capture.Config {
 func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
 	series := func(o Options) []core.Series {
 		o = o.withDefaults()
-		kbs, cells, sts := bufferSweepRun(o, cpuMod)
+		kbs, cells, sts, outs := bufferSweepRun(o, cpuMod)
 		nsys := len(systems(cpuMod))
-		return cellSeries(cells, sts, func(i int) float64 { return float64(kbs[i/nsys]) })
+		return cellSeries(cells, sts, outs, func(i int) float64 { return float64(kbs[i/nsys]) })
 	}
 	run := func(o Options) string {
 		o = o.withDefaults()
-		kbs, cells, sts := bufferSweepRun(o, cpuMod)
+		kbs, cells, sts, outs := bufferSweepRun(o, cpuMod)
 		nsys := len(systems(cpuMod))
 		var out strings.Builder
 		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
@@ -267,17 +320,21 @@ func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
 			fmt.Fprintf(&out, "%d\t%s\t%6.2f\t%6.2f\n",
 				kbs[i/nsys], cells[i].Cfg.Name, st.CaptureRate(), st.CPUUsage())
 		}
+		xOf := func(i int) float64 { return float64(kbs[i/nsys]) }
 		if o.Why {
 			out.WriteByte('\n')
-			out.WriteString(core.FormatWhy(cellSeries(cells, sts,
-				func(i int) float64 { return float64(kbs[i/nsys]) })))
+			out.WriteString(core.FormatWhy(cellSeries(cells, sts, outs, xOf)))
+		}
+		if o.Chaos != 0 {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatChaos(cellSeries(cells, sts, outs, xOf)))
 		}
 		return out.String()
 	}
 	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats) {
+func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats, outs []core.CellOutcome) {
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
 	for kb := 128; kb <= 262144; kb *= 2 {
 		kbs = append(kbs, kb)
@@ -291,7 +348,9 @@ func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, s
 			cells = append(cells, core.Cell{Cfg: cfg, W: w})
 		}
 	}
-	return kbs, cells, core.RunCells(cells, o.Parallelism)
+	nsys := len(systems(cpuMod))
+	sts, outs = runCellsMaybeChaos(o, cells, func(i int) uint64 { return uint64(kbs[i/nsys]) })
+	return kbs, cells, sts, outs
 }
 
 // multiAppExpt reproduces Figures 6.7–6.9: n applications, SMP, with the
@@ -299,13 +358,13 @@ func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, s
 func multiAppExpt(id, paper, title string, n int) Experiment {
 	series := func(o Options) []core.Series {
 		o = o.withDefaults()
-		cells, sts := multiAppRun(o, n)
+		cells, sts, outs := multiAppRun(o, n)
 		nsys := len(systems(bigBuffers, dual))
-		return cellSeries(cells, sts, func(i int) float64 { return o.Rates[i/nsys] })
+		return cellSeries(cells, sts, outs, func(i int) float64 { return o.Rates[i/nsys] })
 	}
 	run := func(o Options) string {
 		o = o.withDefaults()
-		cells, sts := multiAppRun(o, n)
+		cells, sts, outs := multiAppRun(o, n)
 		nsys := len(systems(bigBuffers, dual))
 		var out strings.Builder
 		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
@@ -315,17 +374,21 @@ func multiAppExpt(id, paper, title string, n int) Experiment {
 			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%6.2f\n",
 				o.Rates[i/nsys], cells[i].Cfg.Name, wo, av, be, st.CPUUsage())
 		}
+		xOf := func(i int) float64 { return o.Rates[i/nsys] }
 		if o.Why {
 			out.WriteByte('\n')
-			out.WriteString(core.FormatWhy(cellSeries(cells, sts,
-				func(i int) float64 { return o.Rates[i/nsys] })))
+			out.WriteString(core.FormatWhy(cellSeries(cells, sts, outs, xOf)))
+		}
+		if o.Chaos != 0 {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatChaos(cellSeries(cells, sts, outs, xOf)))
 		}
 		return out.String()
 	}
 	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats) {
+func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats, []core.CellOutcome) {
 	var cells []core.Cell
 	for _, r := range o.Rates {
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
@@ -335,7 +398,11 @@ func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats) {
 			cells = append(cells, core.Cell{Cfg: cfg, W: w})
 		}
 	}
-	return cells, core.RunCells(cells, o.Parallelism)
+	nsys := len(systems(bigBuffers, dual))
+	sts, outs := runCellsMaybeChaos(o, cells, func(i int) uint64 {
+		return uint64(o.Rates[i/nsys] * 1e3)
+	})
+	return cells, sts, outs
 }
 
 // mmapConfigs builds Figure 6.15's systems: the two Linux machines with

@@ -20,6 +20,17 @@ type Record struct {
 	Drops capture.Ledger `json:"drops"`
 	// Truncated counts repetitions that hit the simulation safety cap.
 	Truncated int `json:"truncated,omitempty"`
+
+	// Chaos bookkeeping (only set when the sweep ran under -chaos):
+	// Attempts is the number of cycle attempts spent on the point,
+	// Quarantined / Rejected count repetitions lost to the retry budget
+	// and the outlier rejection, Degraded marks impaired accepted data,
+	// and Faults is the compact fault log.
+	Attempts    int    `json:"attempts,omitempty"`
+	Quarantined int    `json:"quarantined,omitempty"`
+	Rejected    int    `json:"rejected,omitempty"`
+	Degraded    bool   `json:"degraded,omitempty"`
+	Faults      string `json:"faults,omitempty"`
 }
 
 // Records flattens an experiment's series into JSON-ready rows. It returns
@@ -34,17 +45,22 @@ func Records(e Experiment, o Options) []Record {
 		for _, p := range s.Points {
 			total, _ := p.Drops.Total()
 			recs = append(recs, Record{
-				Experiment: e.ID,
-				System:     s.System,
-				X:          p.X,
-				RatePct:    p.Rate,
-				RateMinPct: p.RateMin,
-				RateMaxPct: p.RateMax,
-				CPUPct:     p.CPU,
-				Generated:  p.Generated,
-				Dropped:    total,
-				Drops:      p.Drops,
-				Truncated:  p.Truncated,
+				Experiment:  e.ID,
+				System:      s.System,
+				X:           p.X,
+				RatePct:     p.Rate,
+				RateMinPct:  p.RateMin,
+				RateMaxPct:  p.RateMax,
+				CPUPct:      p.CPU,
+				Generated:   p.Generated,
+				Dropped:     total,
+				Drops:       p.Drops,
+				Truncated:   p.Truncated,
+				Attempts:    p.Attempts,
+				Quarantined: p.Quarantined,
+				Rejected:    p.Rejected,
+				Degraded:    p.Degraded,
+				Faults:      p.FaultLog,
 			})
 		}
 	}

@@ -1,0 +1,224 @@
+// Measurement-cycle supervisor: the resilient control host. The plain
+// RunMeasurement aborts on the first bad cycle; a week-long measurement
+// campaign cannot. The supervisor wraps every §3.4 cycle in validation
+// (RunResult.Verify plus the cpusage-log check), retries failed cycles
+// with a bounded budget and doubling simulated backoff, quarantines
+// repetitions that never validate, declares a sniffer dead after enough
+// consecutive silent cycles and continues with the remaining ones, and
+// finally applies the thesis-style outlier rejection (median absolute
+// deviation on the per-cycle capture rate) across the accepted
+// repetitions.
+package testbed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/faults"
+	"repro/internal/stats"
+)
+
+// Supervisor drives resilient measurement campaigns on a testbed.
+type Supervisor struct {
+	TB *Testbed
+	// Plan is the seeded fault model; nil supervises a healthy testbed
+	// (validation and retry still active, nothing injected, no outlier
+	// rejection).
+	Plan *faults.Plan
+	// RetryBudget is the number of retries per repetition beyond the first
+	// attempt (default 3).
+	RetryBudget int
+	// BackoffNS is the simulated control-host backoff before the first
+	// retry, doubling per further retry (default 250 ms).
+	BackoffNS float64
+	// MADK and MADFloor parameterize the outlier rejection across accepted
+	// repetitions (defaults 3.5 and 0.5 percentage points).
+	MADK     float64
+	MADFloor float64
+	// DeadAfter is the number of consecutive cycles a sniffer may stay
+	// silent before the supervisor declares it dead and continues with the
+	// remaining sniffers (default 3).
+	DeadAfter int
+}
+
+// ResilientMeasurement is a supervised measurement campaign: the accepted
+// repetitions plus the full account of what the supervisor had to do.
+type ResilientMeasurement struct {
+	// Measurement holds the repetitions that validated and survived the
+	// outlier rejection; downstream aggregation works on it unchanged.
+	Measurement
+	// Attempts is the total number of cycle attempts spent.
+	Attempts int
+	// Quarantined lists repetition indexes that never produced a valid
+	// cycle within the retry budget.
+	Quarantined []int
+	// Rejected lists repetition indexes the outlier rejection discarded.
+	Rejected []int
+	// Dead lists sniffers declared dead; their absence is tolerated in
+	// every later cycle.
+	Dead []string
+	// Degraded is set when the accepted data is impaired: a dead sniffer,
+	// a lossy splitter leg booked into a run, or a quarantined repetition.
+	Degraded bool
+	// BackoffNS is the simulated control-host time spent backing off.
+	BackoffNS float64
+	// Log is the campaign's fault-and-decision history, oldest first.
+	Log []string
+}
+
+func (s Supervisor) withDefaults() Supervisor {
+	if s.RetryBudget <= 0 {
+		s.RetryBudget = 3
+	}
+	if s.BackoffNS <= 0 {
+		s.BackoffNS = 250e6
+	}
+	if s.MADK <= 0 {
+		s.MADK = 3.5
+	}
+	if s.MADFloor <= 0 {
+		s.MADFloor = 0.5
+	}
+	if s.DeadAfter <= 0 {
+		s.DeadAfter = 3
+	}
+	return s
+}
+
+// validate applies the cycle acceptance checks: the §3.2 verification
+// against the switch's ground truth and expected sniffers, plus — when
+// profiling is on — a complete cpusage log from every reporting sniffer.
+func (s Supervisor) validate(res RunResult) error {
+	if len(res.Sniffers) == 0 {
+		return errors.New("testbed: no sniffer reported statistics")
+	}
+	if err := res.Verify(); err != nil {
+		return err
+	}
+	if s.TB.ProfileInterval > 0 {
+		for _, sr := range res.Sniffers {
+			if sr.UsageShort || len(sr.Usage) == 0 {
+				return fmt.Errorf("testbed: sniffer %s cpusage log truncated", sr.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// Run executes reps supervised measurement cycles. It always returns: a
+// repetition that cannot be measured is quarantined, a persistently silent
+// sniffer is declared dead and the campaign continues with the remaining
+// ones — graceful degradation instead of an aborted sweep.
+func (s Supervisor) Run(reps int) ResilientMeasurement {
+	if reps <= 0 {
+		reps = 1
+	}
+	s = s.withDefaults()
+	var rm ResilientMeasurement
+	logf := func(format string, args ...any) {
+		rm.Log = append(rm.Log, fmt.Sprintf(format, args...))
+	}
+
+	names := make([]string, len(s.TB.Sniffers))
+	for i, cfg := range s.TB.Sniffers {
+		names[i] = cfg.Name
+	}
+	// The fault model keys on the measurement point; the workload's target
+	// rate is its natural fingerprint.
+	point := math.Float64bits(s.TB.Workload.TargetRate)
+	dead := make(map[string]bool)
+	silent := make(map[string]int) // consecutive cycles without statistics
+
+	for rep := 0; rep < reps; rep++ {
+		accepted := false
+		for attempt := 0; attempt <= s.RetryBudget; attempt++ {
+			if attempt > 0 {
+				rm.BackoffNS += s.BackoffNS * float64(int(1)<<(attempt-1))
+			}
+			rm.Attempts++
+			cf := s.Plan.Cycle(point, rep, attempt, names)
+			for _, ev := range cf.Events {
+				logf("rep%d.%d %s:%s", rep, attempt, ev.Component, ev.Fault)
+			}
+			res := s.TB.RunCycleFaults(rep, cf)
+
+			// Dead-sniffer bookkeeping: a sniffer silent for DeadAfter
+			// consecutive cycles is struck from the expected set — the
+			// campaign continues with the remaining ones.
+			reported := make(map[string]bool, len(res.Sniffers))
+			for _, sr := range res.Sniffers {
+				reported[sr.Name] = true
+			}
+			for _, n := range names {
+				if dead[n] {
+					continue
+				}
+				if reported[n] {
+					silent[n] = 0
+					continue
+				}
+				silent[n]++
+				if silent[n] >= s.DeadAfter {
+					dead[n] = true
+					rm.Dead = append(rm.Dead, n)
+					rm.Degraded = true
+					logf("rep%d.%d %s: declared dead after %d silent cycles; continuing with %d sniffers",
+						rep, attempt, n, s.DeadAfter, len(names)-len(rm.Dead))
+				}
+			}
+			res.Expected = res.Expected[:0]
+			for _, n := range names {
+				if !dead[n] {
+					res.Expected = append(res.Expected, n)
+				}
+			}
+
+			if err := s.validate(res); err != nil {
+				logf("rep%d.%d retry: %v", rep, attempt, err)
+				continue
+			}
+			for _, sr := range res.Sniffers {
+				if sr.Degraded {
+					rm.Degraded = true
+					logf("rep%d.%d %s: accepted degraded (lossy splitter leg, loss booked)",
+						rep, attempt, sr.Name)
+				}
+			}
+			rm.Runs = append(rm.Runs, res)
+			accepted = true
+			break
+		}
+		if !accepted {
+			rm.Quarantined = append(rm.Quarantined, rep)
+			rm.Degraded = true
+			logf("rep%d quarantined after %d attempts", rep, s.RetryBudget+1)
+		}
+	}
+
+	// Outlier rejection across the accepted repetitions, on the per-cycle
+	// mean capture rate — only meaningful under a fault plan; a healthy
+	// campaign keeps every repetition.
+	if s.Plan != nil && len(rm.Runs) >= 3 {
+		rates := make([]float64, len(rm.Runs))
+		for i, run := range rm.Runs {
+			var sum float64
+			for _, sr := range run.Sniffers {
+				sum += sr.Stats.CaptureRate()
+			}
+			rates[i] = sum / float64(len(run.Sniffers))
+		}
+		reject := stats.MADOutliers(rates, s.MADK, s.MADFloor)
+		kept := rm.Runs[:0]
+		for i, run := range rm.Runs {
+			if reject[i] {
+				rm.Rejected = append(rm.Rejected, run.Rep)
+				logf("rep%d outlier-rejected (mean rate %.2f%%)", run.Rep, rates[i])
+				continue
+			}
+			kept = append(kept, run)
+		}
+		rm.Runs = kept
+	}
+	return rm
+}

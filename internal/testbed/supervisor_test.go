@@ -1,0 +1,329 @@
+package testbed
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/capture"
+	"repro/internal/faults"
+	"repro/internal/sim"
+)
+
+// TestFaultCounterWrapDelta is the regression test for the uint64
+// underflow in GeneratedBySwitch: with the switch's Counter32 entries
+// wrapping between the two SNMP reads, the naive subtraction returned
+// ~1.8×10¹⁹ instead of the true delta.
+func TestFaultCounterWrapDelta(t *testing.T) {
+	if d := CounterDelta(100, (uint64(1)<<32)-50); d != 150 {
+		t.Fatalf("wrapped delta = %d, want 150", d)
+	}
+	if d := CounterDelta(500, 200); d != 300 {
+		t.Fatalf("plain delta = %d, want 300", d)
+	}
+	var r RunResult
+	r.CountersBefore.OutUcastPkts = (uint64(1) << 32) - 1000
+	r.CountersAfter.OutUcastPkts = 3000
+	if got := r.GeneratedBySwitch(); got != 4000 {
+		t.Fatalf("GeneratedBySwitch across the wrap = %d, want 4000", got)
+	}
+
+	// End to end: preload the switch just below the wrap, run a full
+	// cycle, and the verification must still hold.
+	tb := New(small())
+	tb.Switch.Preload(SNMPCounters{
+		InUcastPkts: (uint64(1) << 32) - 2000, OutUcastPkts: (uint64(1) << 32) - 2000,
+	})
+	res, err := tb.RunCycle(0)
+	if err != nil {
+		t.Fatalf("wrapped cycle failed verification: %v", err)
+	}
+	if res.GeneratedBySwitch() != 4000 {
+		t.Fatalf("wrapped cycle counted %d", res.GeneratedBySwitch())
+	}
+	if res.CountersAfter.OutUcastPkts >= uint64(1)<<32 {
+		t.Fatalf("switch counter exceeded Counter32: %d", res.CountersAfter.OutUcastPkts)
+	}
+}
+
+// TestFaultVerifyErrorPaths covers the typed validation failures.
+func TestFaultVerifyErrorPaths(t *testing.T) {
+	// Switch/gen mismatch.
+	r := RunResult{GeneratedFrames: 10}
+	r.CountersAfter.OutUcastPkts = 9
+	var cm *CountMismatchError
+	if err := r.Verify(); !errors.As(err, &cm) || cm.Switch != 9 || cm.Gen != 10 {
+		t.Fatalf("count mismatch: %v", err)
+	}
+
+	// Sniffer offered fewer packets than the switch forwarded.
+	r = RunResult{GeneratedFrames: 10}
+	r.CountersAfter.OutUcastPkts = 10
+	sr := SnifferResult{Name: "swan"}
+	sr.Stats.Generated = 7
+	r.Sniffers = []SnifferResult{sr}
+	var sh *ShortfallError
+	if err := r.Verify(); !errors.As(err, &sh) || sh.Name != "swan" || sh.Offered != 7 {
+		t.Fatalf("shortfall: %v", err)
+	}
+
+	// Expected sniffer missing entirely.
+	r.Sniffers[0].Stats.Generated = 10
+	r.Expected = []string{"swan", "moorhen"}
+	var ms *MissingSnifferError
+	if err := r.Verify(); !errors.As(err, &ms) || ms.Name != "moorhen" {
+		t.Fatalf("missing sniffer: %v", err)
+	}
+
+	// Backward compatible: no Expected list, whoever reported is checked.
+	r.Expected = nil
+	if err := r.Verify(); err != nil {
+		t.Fatalf("legacy verify failed: %v", err)
+	}
+}
+
+// TestChaosSupervisorCleanPlan: with no fault plan the supervisor is a
+// pass-through — every repetition accepted on the first attempt, nothing
+// quarantined or rejected, same runs as RunMeasurement.
+func TestChaosSupervisorCleanPlan(t *testing.T) {
+	tb := New(small())
+	rm := Supervisor{TB: tb}.Run(2)
+	if len(rm.Runs) != 2 || rm.Attempts != 2 || rm.Degraded ||
+		len(rm.Quarantined) != 0 || len(rm.Rejected) != 0 || len(rm.Dead) != 0 {
+		t.Fatalf("clean supervision dirty: %+v", rm)
+	}
+	plain, err := New(small()).RunMeasurement(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Runs {
+		a, b := rm.Runs[i].Sniffers, plain.Runs[i].Sniffers
+		for j := range a {
+			if a[j].Stats.CaptureRate() != b[j].Stats.CaptureRate() {
+				t.Fatalf("rep %d sniffer %s differs from plain measurement", i, a[j].Name)
+			}
+		}
+	}
+}
+
+// TestChaosSupervisorRetriesTransientFaults: stale SNMP reads fail
+// validation and clear on retry; the campaign accepts every repetition.
+func TestChaosSupervisorRetriesTransientFaults(t *testing.T) {
+	w := small()
+	point := math.Float64bits(w.TargetRate)
+	// Pick a seed where rep 0 draws a stale read on attempt 0 but not on
+	// every attempt — the retry must actually clear it.
+	var plan *faults.Plan
+	for seed := uint64(1); seed < 200; seed++ {
+		p := &faults.Plan{Seed: seed, PStale: 0.5}
+		if p.Stale(point, 0, 0) && !p.Stale(point, 0, 1) {
+			plan = p
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed with a clearing stale fault in 200 tries")
+	}
+	tb := New(w)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(1)
+	if len(rm.Runs) != 1 || len(rm.Quarantined) != 0 {
+		t.Fatalf("transient fault not recovered: %+v", rm.Log)
+	}
+	if rm.Attempts < 2 || rm.BackoffNS <= 0 {
+		t.Fatalf("retry not exercised: attempts=%d backoff=%g", rm.Attempts, rm.BackoffNS)
+	}
+	joined := strings.Join(rm.Log, "\n")
+	if !strings.Contains(joined, "snmp-stale") {
+		t.Fatalf("stale fault not logged:\n%s", joined)
+	}
+}
+
+// TestChaosSupervisorDeadSnifferGraceful: a persistently dead sniffer is
+// declared dead after DeadAfter silent cycles and the campaign continues
+// with the remaining three — degraded, not aborted.
+func TestChaosSupervisorDeadSnifferGraceful(t *testing.T) {
+	w := small()
+	point := math.Float64bits(w.TargetRate)
+	names := []string{"swan", "snipe", "moorhen", "flamingo"}
+	var plan *faults.Plan
+	var victim string
+	for seed := uint64(1); seed < 500; seed++ {
+		p := &faults.Plan{Seed: seed, PDead: 0.3}
+		var deadNames []string
+		for _, n := range names {
+			if p.Sniffer(n, point, 0, 0).Dead {
+				deadNames = append(deadNames, n)
+			}
+		}
+		if len(deadNames) == 1 {
+			plan, victim = p, deadNames[0]
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed with exactly one dead sniffer in 500 tries")
+	}
+	tb := New(w)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(3)
+	if len(rm.Dead) != 1 || rm.Dead[0] != victim {
+		t.Fatalf("dead = %v, want [%s]\n%s", rm.Dead, victim, strings.Join(rm.Log, "\n"))
+	}
+	if !rm.Degraded {
+		t.Fatal("dead sniffer did not mark the campaign degraded")
+	}
+	if len(rm.Runs) != 3 {
+		t.Fatalf("campaign lost repetitions: %d accepted of 3\n%s",
+			len(rm.Runs), strings.Join(rm.Log, "\n"))
+	}
+	for _, run := range rm.Runs {
+		if len(run.Sniffers) != 3 {
+			t.Fatalf("rep %d has %d sniffers, want the 3 survivors", run.Rep, len(run.Sniffers))
+		}
+		for _, sr := range run.Sniffers {
+			if sr.Name == victim {
+				t.Fatalf("dead sniffer %s reported statistics", victim)
+			}
+		}
+	}
+	// Aggregation over the degraded campaign still works (satellite: a
+	// missing sniffer must not break Measurement).
+	rates := rm.CaptureRates()
+	if len(rates) != 3 || len(rates[victim]) != 0 {
+		t.Fatalf("rates over degraded campaign: %v", rates)
+	}
+	if rep := rm.Report(); !strings.Contains(rep, "# rep") {
+		t.Fatalf("report failed:\n%s", rep)
+	}
+}
+
+// TestChaosSupervisorQuarantinesPersistentUnderrun: a generator that
+// underruns on every attempt can never validate; the repetitions are
+// quarantined and the campaign still completes.
+func TestChaosSupervisorQuarantinesPersistentUnderrun(t *testing.T) {
+	tb := New(small())
+	plan := &faults.Plan{Seed: 5, PUnderrun: 1, UnderrunFrac: 0.7}
+	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 2}.Run(2)
+	if len(rm.Runs) != 0 || len(rm.Quarantined) != 2 {
+		t.Fatalf("persistent underrun not quarantined: %+v", rm.Quarantined)
+	}
+	if rm.Attempts != 6 {
+		t.Fatalf("attempts = %d, want 2 reps × (budget 2 + 1)", rm.Attempts)
+	}
+	if !rm.Degraded {
+		t.Fatal("quarantined campaign not marked degraded")
+	}
+	joined := strings.Join(rm.Log, "\n")
+	if !strings.Contains(joined, "gen-underrun") || !strings.Contains(joined, "quarantined") {
+		t.Fatalf("underrun/quarantine not logged:\n%s", joined)
+	}
+}
+
+// TestChaosSupervisorUsageTruncationRetries: with profiling on, a
+// truncated cpusage log fails validation.
+func TestChaosSupervisorUsageTruncationRetries(t *testing.T) {
+	tb := New(small())
+	tb.ProfileInterval = 500 * sim.Millisecond
+	plan := &faults.Plan{Seed: 7, PTruncUsage: 1}
+	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 1}.Run(1)
+	if len(rm.Quarantined) != 1 {
+		t.Fatalf("always-truncated usage log not quarantined: %+v", rm.Log)
+	}
+	if !strings.Contains(strings.Join(rm.Log, "\n"), "cpusage log truncated") {
+		t.Fatalf("truncation not logged:\n%s", strings.Join(rm.Log, "\n"))
+	}
+}
+
+// TestChaosSupervisorLegLossAcceptedDegraded: a lossy splitter leg cannot
+// heal on retry; the run is accepted degraded with the loss booked under
+// fault-splitter, and packet conservation holds.
+func TestChaosSupervisorLegLossAcceptedDegraded(t *testing.T) {
+	tb := New(small())
+	plan := &faults.Plan{Seed: 9, PLegLoss: 1, LegLossRatio: 0.05}
+	rm := Supervisor{TB: tb, Plan: plan}.Run(1)
+	if len(rm.Runs) != 1 {
+		t.Fatalf("lossy-leg rep not accepted: %+v", rm.Log)
+	}
+	if !rm.Degraded {
+		t.Fatal("lossy leg did not mark the campaign degraded")
+	}
+	for _, sr := range rm.Runs[0].Sniffers {
+		if !sr.Degraded {
+			t.Fatalf("%s: not marked degraded under PLegLoss=1", sr.Name)
+		}
+		if sr.Stats.Ledger.Drops[capture.CauseFaultSplitter].Packets == 0 {
+			t.Fatalf("%s: leg loss not booked under fault-splitter", sr.Name)
+		}
+		if err := sr.Stats.CheckConservation(); err != nil {
+			t.Fatalf("%s: conservation broken: %v", sr.Name, err)
+		}
+		if sr.Stats.Generated != rm.Runs[0].GeneratedFrames {
+			t.Fatalf("%s: Generated %d not normalized to %d",
+				sr.Name, sr.Stats.Generated, rm.Runs[0].GeneratedFrames)
+		}
+	}
+}
+
+// TestChaosSupervisorMADRejectsOutlierRep: a single repetition on a badly
+// lossy leg is accepted degraded but thrown out by the outlier rejection
+// across repetitions.
+func TestChaosSupervisorMADRejectsOutlierRep(t *testing.T) {
+	w := small()
+	point := math.Float64bits(w.TargetRate)
+	var plan *faults.Plan
+	badRep := -1
+	for seed := uint64(1); seed < 1000; seed++ {
+		p := &faults.Plan{Seed: seed, PLegLoss: 0.2, LegLossRatio: 0.4}
+		var lossy []int
+		for rep := 0; rep < 4; rep++ {
+			if p.Sniffer("swan", point, rep, 0).LegLoss > 0 {
+				lossy = append(lossy, rep)
+			}
+		}
+		if len(lossy) == 1 {
+			plan, badRep = p, lossy[0]
+			break
+		}
+	}
+	if plan == nil {
+		t.Fatal("no seed with exactly one lossy repetition in 1000 tries")
+	}
+	tb := New(w)
+	tb.Sniffers = tb.Sniffers[:1] // swan only: the rep mean is swan's rate
+	rm := Supervisor{TB: tb, Plan: plan}.Run(4)
+	if len(rm.Rejected) != 1 || rm.Rejected[0] != badRep {
+		t.Fatalf("rejected = %v, want [%d]\n%s", rm.Rejected, badRep, strings.Join(rm.Log, "\n"))
+	}
+	if len(rm.Runs) != 3 {
+		t.Fatalf("accepted %d runs, want 3", len(rm.Runs))
+	}
+	for _, run := range rm.Runs {
+		if run.Rep == badRep {
+			t.Fatal("rejected repetition still in the accepted set")
+		}
+	}
+}
+
+// TestFaultMeasurementAggregationHandlesMissingSniffer: hand-built
+// degraded measurements (one run missing a sniffer) aggregate without
+// panics or phantom entries.
+func TestFaultMeasurementAggregationHandlesMissingSniffer(t *testing.T) {
+	mk := func(name string, rate float64) SnifferResult {
+		sr := SnifferResult{Name: name}
+		sr.Stats.Generated = 100
+		sr.Stats.AppCaptured = []uint64{uint64(rate)}
+		return sr
+	}
+	m := Measurement{Runs: []RunResult{
+		{Rep: 0, Sniffers: []SnifferResult{mk("swan", 90), mk("moorhen", 95)}},
+		{Rep: 1, Sniffers: []SnifferResult{mk("swan", 91)}}, // moorhen missing
+	}}
+	rates := m.CaptureRates()
+	if len(rates["swan"]) != 2 || len(rates["moorhen"]) != 1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	rep := m.Report()
+	if strings.Count(rep, "swan") != 2 || strings.Count(rep, "moorhen") != 1 {
+		t.Fatalf("report rows wrong:\n%s", rep)
+	}
+}

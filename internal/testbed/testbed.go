@@ -28,16 +28,34 @@ import (
 	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/cpuprof"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
 // SNMPCounters mirrors the switch port counters the control host polls
-// via SNMP before and after each run (§3.4 steps 2 and 4).
+// via SNMP before and after each run (§3.4 steps 2 and 4). Like the real
+// ifTable entries (Counter32), they are 32-bit and wrap at 2³² — at
+// gigabit packet rates ifInUcastPkts wraps in well under an hour, so the
+// delta computation must be wrap-aware.
 type SNMPCounters struct {
 	InUcastPkts  uint64 // packets received from gen
 	InOctets     uint64
 	OutUcastPkts uint64 // packets mirrored to the splitter port
 	OutOctets    uint64
+}
+
+// counterWrap is the modulus of the switch's Counter32 ifTable entries.
+const counterWrap = uint64(1) << 32
+
+// CounterDelta returns after − before on a 32-bit wrapping counter. The
+// naive uint64 subtraction underflows to ~1.8×10¹⁹ when the counter
+// wrapped between the two reads; this accounts for one wrap, which is the
+// §3.4 polling discipline (the cycle is far shorter than two wraps).
+func CounterDelta(after, before uint64) uint64 {
+	if after < before {
+		return after + counterWrap - before
+	}
+	return after - before
 }
 
 // Switch is the monitoring switch: it counts what gen sends and mirrors it
@@ -47,13 +65,18 @@ type Switch struct {
 	counters SNMPCounters
 }
 
-// Count registers one forwarded frame.
+// Count registers one forwarded frame. Counters wrap at 2³² like the
+// ifTable Counter32 entries they model.
 func (sw *Switch) Count(frameLen int) {
-	sw.counters.InUcastPkts++
-	sw.counters.InOctets += uint64(frameLen)
-	sw.counters.OutUcastPkts++
-	sw.counters.OutOctets += uint64(frameLen)
+	sw.counters.InUcastPkts = (sw.counters.InUcastPkts + 1) % counterWrap
+	sw.counters.InOctets = (sw.counters.InOctets + uint64(frameLen)) % counterWrap
+	sw.counters.OutUcastPkts = (sw.counters.OutUcastPkts + 1) % counterWrap
+	sw.counters.OutOctets = (sw.counters.OutOctets + uint64(frameLen)) % counterWrap
 }
+
+// Preload sets the counters to a given state — the fault injector uses it
+// to start a cycle just below the 32-bit wrap.
+func (sw *Switch) Preload(c SNMPCounters) { sw.counters = c }
 
 // ReadSNMP returns a snapshot of the counters (an SNMP GET of the ifTable
 // entries for the data ports).
@@ -65,6 +88,13 @@ type SnifferResult struct {
 	Stats    capture.Stats
 	Usage    []cpuprof.Sample // the cpusage log of the run
 	UsageAvg cpuprof.Sample   // trimusage average over the busy window
+	// UsageShort marks a truncated cpusage log (the profiling run was cut
+	// before the busy window ended — a fault the supervisor retries).
+	UsageShort bool
+	// Degraded marks a run on a lossy splitter leg: the withheld frames
+	// are booked under fault-splitter in Stats.Ledger so the statistics
+	// balance, but the capturing rate reflects the impairment.
+	Degraded bool
 }
 
 // RunResult is one complete measurement cycle iteration.
@@ -74,25 +104,77 @@ type RunResult struct {
 	CountersAfter   SNMPCounters
 	GeneratedFrames uint64 // from gen's own statistics
 	Sniffers        []SnifferResult
+	// Expected lists the sniffers that were supposed to report. Empty
+	// means "whoever reported" — the legacy behaviour, kept so existing
+	// callers that build RunResult by hand verify unchanged.
+	Expected []string
 }
 
-// GeneratedBySwitch returns the ground-truth packet count for the run.
+// GeneratedBySwitch returns the ground-truth packet count for the run,
+// accounting for the 32-bit wrap of the switch's ifTable counters.
 func (r RunResult) GeneratedBySwitch() uint64 {
-	return r.CountersAfter.OutUcastPkts - r.CountersBefore.OutUcastPkts
+	return CounterDelta(r.CountersAfter.OutUcastPkts, r.CountersBefore.OutUcastPkts)
+}
+
+// CountMismatchError: the switch's ground truth disagrees with gen's own
+// statistics — the generator underran, stalled, or the SNMP read was
+// stale.
+type CountMismatchError struct {
+	Switch, Gen uint64
+}
+
+func (e *CountMismatchError) Error() string {
+	return fmt.Sprintf("testbed: switch counted %d packets, gen sent %d", e.Switch, e.Gen)
+}
+
+// ShortfallError: a sniffer was offered fewer packets than the switch
+// forwarded — a degraded splitter leg (unless the loss is booked back
+// into the sniffer's ledger, which normalizes its Generated count).
+type ShortfallError struct {
+	Name          string
+	Offered, Want uint64
+}
+
+func (e *ShortfallError) Error() string {
+	return fmt.Sprintf("testbed: sniffer %s was offered %d packets, want %d",
+		e.Name, e.Offered, e.Want)
+}
+
+// MissingSnifferError: an expected sniffer reported no statistics at all
+// (hung or crashed capture process, dead host).
+type MissingSnifferError struct {
+	Name string
+}
+
+func (e *MissingSnifferError) Error() string {
+	return fmt.Sprintf("testbed: sniffer %s reported no statistics", e.Name)
 }
 
 // Verify checks the §3.2 requirement that "all generated packets are
 // indeed sent over the fiber": gen's statistics must agree with the
-// switch counters, and every sniffer must have been offered that many
-// packets.
+// switch counters, every expected sniffer must have reported, and every
+// sniffer must have been offered that many packets. Failures come back as
+// typed errors (*CountMismatchError, *MissingSnifferError,
+// *ShortfallError) so the supervisor can tell fault classes apart.
 func (r RunResult) Verify() error {
 	if got := r.GeneratedBySwitch(); got != r.GeneratedFrames {
-		return fmt.Errorf("testbed: switch counted %d packets, gen sent %d", got, r.GeneratedFrames)
+		return &CountMismatchError{Switch: got, Gen: r.GeneratedFrames}
+	}
+	for _, want := range r.Expected {
+		found := false
+		for _, s := range r.Sniffers {
+			if s.Name == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return &MissingSnifferError{Name: want}
+		}
 	}
 	for _, s := range r.Sniffers {
 		if s.Stats.Generated != r.GeneratedFrames {
-			return fmt.Errorf("testbed: sniffer %s was offered %d packets, want %d",
-				s.Name, s.Stats.Generated, r.GeneratedFrames)
+			return &ShortfallError{Name: s.Name, Offered: s.Stats.Generated, Want: r.GeneratedFrames}
 		}
 	}
 	return nil
@@ -119,38 +201,78 @@ func New(w core.Workload) *Testbed {
 // collection. The packet train is drawn once through the switch and
 // replayed identically into each sniffer — the splitter.
 func (tb *Testbed) RunCycle(rep int) (RunResult, error) {
-	w := tb.Workload
-	w.Seed = tb.Workload.Seed + uint64(rep)*7919
-
-	res := RunResult{Rep: rep, CountersBefore: tb.Switch.ReadSNMP()}
-
-	// The switch port sees the train once, regardless of how many sniffers
-	// hang off the splitter.
-	counter := w.Generator()
-	for {
-		p, ok := counter.Next()
-		if !ok {
-			break
-		}
-		tb.Switch.Count(len(p.Data))
-	}
-	res.GeneratedFrames = counter.Sent
-	res.CountersAfter = tb.Switch.ReadSNMP()
-
-	for _, cfg := range tb.Sniffers {
-		sr, err := tb.runSniffer(cfg, w)
-		if err != nil {
-			return res, err
-		}
-		res.Sniffers = append(res.Sniffers, sr)
-	}
+	res := tb.RunCycleFaults(rep, faults.CycleFaults{})
 	if err := res.Verify(); err != nil {
 		return res, err
 	}
 	return res, nil
 }
 
-func (tb *Testbed) runSniffer(cfg capture.Config, w core.Workload) (SnifferResult, error) {
+// RunCycleFaults executes one measurement-cycle attempt under an injected
+// fault assignment: counter preloads and stale reads on the switch,
+// underruns and stalls on gen, hangs/crashes/dead hosts, degraded
+// splitter legs and truncated cpusage logs on the sniffers. It does not
+// verify — a faulted cycle is expected to fail validation; the supervisor
+// calls Verify (plus its own usage checks) and decides between retry,
+// quarantine and degraded acceptance. A zero CycleFaults value runs the
+// clean cycle.
+func (tb *Testbed) RunCycleFaults(rep int, cf faults.CycleFaults) RunResult {
+	w := tb.Workload
+	w.Seed = tb.Workload.Seed + uint64(rep)*7919
+
+	if cf.WrapPreload {
+		// Park the port counters just below the Counter32 wrap so the
+		// delta computation is exercised across it.
+		pre := tb.Switch.ReadSNMP()
+		pre.OutUcastPkts = counterWrap - uint64(w.Packets)/2 - 1
+		pre.InUcastPkts = pre.OutUcastPkts
+		tb.Switch.Preload(pre)
+	}
+
+	res := RunResult{Rep: rep, CountersBefore: tb.Switch.ReadSNMP()}
+
+	// The switch port sees the train once, regardless of how many sniffers
+	// hang off the splitter. An underrunning (or mid-train stalling)
+	// generator puts only a fraction of the train on the fiber — but its
+	// own statistics still claim the full train; that lie is what the
+	// switch's ground truth exposes.
+	counter := w.Generator()
+	wire := capture.Source(counter)
+	if cf.Underrun > 0 && cf.Underrun < 1 {
+		wire = faults.NewTruncatedSource(wire, int(float64(w.Packets)*cf.Underrun))
+	}
+	sent := uint64(0)
+	for {
+		p, ok := wire.Next()
+		if !ok {
+			break
+		}
+		sent++
+		tb.Switch.Count(len(p.Data))
+	}
+	res.GeneratedFrames = uint64(w.Packets)
+	if cf.Underrun <= 0 || cf.Underrun >= 1 {
+		res.GeneratedFrames = counter.Sent
+	}
+	res.CountersAfter = tb.Switch.ReadSNMP()
+	if cf.StaleSNMP {
+		// The post-run SNMP GET returns the pre-run snapshot (agent-side
+		// caching): the delta reads zero.
+		res.CountersAfter = res.CountersBefore
+	}
+
+	for _, cfg := range tb.Sniffers {
+		sf := cf.Sniffers[cfg.Name]
+		if sf.Failed() {
+			// Hung, crashed or dead: stop.sh collects nothing.
+			continue
+		}
+		res.Sniffers = append(res.Sniffers, tb.runSniffer(cfg, w, cf, sf))
+	}
+	return res
+}
+
+func (tb *Testbed) runSniffer(cfg capture.Config, w core.Workload, cf faults.CycleFaults, sf faults.SnifferFaults) SnifferResult {
 	prepared := core.Prepare(cfg, w)
 	sys := capture.NewSystem(prepared)
 	var sampler *cpuprof.Sampler
@@ -166,14 +288,38 @@ func (tb *Testbed) runSniffer(cfg capture.Config, w core.Workload) (SnifferResul
 		sampler = cpuprof.Attach(sys, interval)
 	}
 	// Each sniffer replays the identical train: a fresh generator with the
-	// same seed is the splitter's second output leg.
-	st := sys.Run(w.Generator())
-	sr := SnifferResult{Name: cfg.Name, Stats: st}
-	if sampler != nil {
-		sr.Usage = sampler.Samples
-		sr.UsageAvg = cpuprof.Summarize(cpuprof.Trim(sampler.Samples, 95)).Avg
+	// same seed is the splitter's second output leg. Generator faults hit
+	// every leg identically; a degraded leg additionally drops frames on
+	// this sniffer's fiber only.
+	src := capture.Source(w.Generator())
+	if cf.Underrun > 0 && cf.Underrun < 1 {
+		src = faults.NewTruncatedSource(src, int(float64(w.Packets)*cf.Underrun))
 	}
-	return sr, nil
+	var lossy *faults.LossySource
+	if sf.LegLoss > 0 {
+		lossy = faults.NewLossySource(src, sf.LegSeed, sf.LegLoss)
+		src = lossy
+	}
+	st := sys.RunSource(src)
+	sr := SnifferResult{Name: cfg.Name, Stats: st}
+	if lossy != nil && lossy.Lost > 0 {
+		// Book the leg's loss so the sniffer's accounting balances against
+		// the switch; the capturing rate keeps the impairment.
+		sr.Stats.BookFaultLoss(capture.CauseFaultSplitter, lossy.Lost, lossy.LostBytes, lossy.LastAt)
+		sr.Degraded = true
+	}
+	if sampler != nil {
+		samples := sampler.Samples
+		if sf.TruncateUsage && len(samples) > 0 {
+			// The cpusage log was cut mid-run (full disk, killed logger):
+			// only the first half survives.
+			samples = samples[:(len(samples)+1)/2]
+			sr.UsageShort = true
+		}
+		sr.Usage = samples
+		sr.UsageAvg = cpuprof.Summarize(cpuprof.Trim(samples, 95)).Avg
+	}
+	return sr
 }
 
 // Measurement aggregates several repetitions at one configuration, the way
