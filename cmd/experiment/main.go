@@ -6,20 +6,27 @@
 //	experiment -id fig6.3-smp -parallel -1   # all CPUs, identical output
 //	experiment -all -packets 40000 > results.txt
 //	experiment -id fig6.2-smp -chaos 42      # fault-injected, supervised
+//	experiment -all -journal run1            # record a durable campaign
+//	experiment -all -journal run1 -resume    # resume after a crash/SIGTERM
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiments"
+	"repro/internal/journal"
 )
 
 // Exit codes (documented in -h):
@@ -27,10 +34,12 @@ import (
 //	0  success
 //	1  runtime failure (unknown experiment id, output write error)
 //	2  usage error (bad flags or arguments)
+//	3  interrupted (SIGINT/SIGTERM); the campaign journal is usable
 const (
-	exitOK      = 0
-	exitRuntime = 1
-	exitUsage   = 2
+	exitOK          = 0
+	exitRuntime     = 1
+	exitUsage       = 2
+	exitInterrupted = 3
 )
 
 // usageError marks failures that are the caller's fault (exit code 2).
@@ -39,28 +48,37 @@ type usageError struct{ msg string }
 func (e *usageError) Error() string { return e.msg }
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	// First SIGINT/SIGTERM cancels the context: the worker pools drain,
+	// the journal is flushed, and run returns exit code 3. A second signal
+	// kills the process the hard way (signal.NotifyContext unregisters on
+	// stop), which is the escape hatch from a stuck run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	code := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	os.Exit(code)
 }
 
 // run is the whole program behind a single exit point: every output
 // writer is flushed by defer before the exit code reaches main's
 // os.Exit, so no table is ever truncated by an early error path.
-func run(args []string, stdout, stderr io.Writer) int {
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list     = fs.Bool("list", false, "list all experiment ids")
-		id       = fs.String("id", "", "experiment id to run")
-		all      = fs.Bool("all", false, "run every experiment")
-		packets  = fs.Int("packets", 40_000, "packets per run (thesis: 1000000)")
-		reps     = fs.Int("reps", 1, "repetitions per point (thesis: 7)")
-		seed     = fs.Uint64("seed", 1, "base random seed")
-		rates    = fs.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
-		parallel = fs.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
-		gpDir    = fs.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
-		why      = fs.Bool("why", false, "append the per-point drop-cause table to each experiment")
-		jsonOut  = fs.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
-		chaos    = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
+		list       = fs.Bool("list", false, "list all experiment ids")
+		id         = fs.String("id", "", "experiment id to run")
+		all        = fs.Bool("all", false, "run every experiment")
+		packets    = fs.Int("packets", 40_000, "packets per run (thesis: 1000000)")
+		reps       = fs.Int("reps", 1, "repetitions per point (thesis: 7)")
+		seed       = fs.Uint64("seed", 1, "base random seed")
+		rates      = fs.String("rates", "", "comma-separated data rates in Mbit/s (default 50..950)")
+		parallel   = fs.Int("parallel", 0, "worker goroutines per sweep: 0 = serial, -1 = one per CPU (output is identical for any value)")
+		gpDir      = fs.String("gp", "", "also write <id>.dat and a gnuplot script <id>.gp into this directory")
+		why        = fs.Bool("why", false, "append the per-point drop-cause table to each experiment")
+		jsonOut    = fs.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
+		chaos      = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
+		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
+		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "Usage of experiment:")
@@ -69,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "  0  success")
 		fmt.Fprintln(stderr, "  1  runtime failure (unknown experiment id, output write error)")
 		fmt.Fprintln(stderr, "  2  usage error (bad flags or arguments)")
+		fmt.Fprintln(stderr, "  3  interrupted by SIGINT/SIGTERM; the -journal campaign is usable with -resume")
 	}
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -82,20 +101,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	o := experiments.Options{
 		Packets: *packets, Reps: *reps, Seed: *seed,
-		Parallelism: *parallel, Why: *why, Chaos: *chaos,
+		Parallelism: *parallel, Why: *why, Chaos: *chaos, Ctx: ctx,
 	}
 	if *rates != "" {
 		for _, f := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-			if err != nil {
-				fmt.Fprintf(stderr, "experiment: bad rate %q\n", f)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				fmt.Fprintf(stderr, "experiment: bad rate %q (rates must be positive, finite Mbit/s values)\n", strings.TrimSpace(f))
 				return exitUsage
 			}
 			o.Rates = append(o.Rates, v)
 		}
 	}
+	if *resume && *journalDir == "" {
+		fmt.Fprintln(stderr, "experiment: -resume requires -journal <dir>")
+		fs.Usage()
+		return exitUsage
+	}
 
-	err := dispatch(out, o, *list, *all, *id, *jsonOut, *gpDir)
+	if *journalDir != "" && (*all || *id != "") {
+		c, err := openCampaign(stderr, *journalDir, *resume, o)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiment:", err)
+			return exitRuntime
+		}
+		defer c.Close()
+		o.Journal = c
+	}
+
+	err := dispatch(ctx, out, o, *list, *all, *id, *jsonOut, *gpDir)
+	if ctx.Err() != nil {
+		// The interrupt wins over any secondary error: pools have drained,
+		// the journal holds every completed cell, partial output was
+		// discarded.
+		if *journalDir != "" {
+			fmt.Fprintf(stderr, "experiment: interrupted; campaign journal %s is usable — re-run with -resume\n", *journalDir)
+		} else {
+			fmt.Fprintln(stderr, "experiment: interrupted")
+		}
+		return exitInterrupted
+	}
 	if err == nil {
 		return exitOK
 	}
@@ -110,9 +155,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return exitRuntime
 }
 
+// openCampaign creates or resumes the on-disk campaign journal and reports
+// what a resume recovered.
+func openCampaign(stderr io.Writer, dir string, resume bool, o experiments.Options) (*experiments.Campaign, error) {
+	if !resume {
+		return experiments.CreateCampaign(dir, o)
+	}
+	c, err := experiments.ResumeCampaign(dir, o)
+	if err != nil {
+		return nil, err
+	}
+	if c.Torn {
+		fmt.Fprintf(stderr, "experiment: journal had a torn tail frame (crash mid-append); truncated %d bytes\n", c.TornBytes)
+	}
+	fmt.Fprintf(stderr, "experiment: resuming campaign with %d recorded cells\n", c.Replayed)
+	return c, nil
+}
+
 // dispatch selects and executes the requested mode; all failures come
 // back as errors so run keeps the single exit point.
-func dispatch(out io.Writer, o experiments.Options, list, all bool, id string, jsonOut bool, gpDir string) error {
+func dispatch(ctx context.Context, out io.Writer, o experiments.Options, list, all bool, id string, jsonOut bool, gpDir string) error {
 	switch {
 	case list:
 		for _, e := range experiments.All() {
@@ -121,7 +183,10 @@ func dispatch(out io.Writer, o experiments.Options, list, all bool, id string, j
 		return nil
 	case all:
 		for _, e := range experiments.All() {
-			if err := runOne(out, e, o, jsonOut, gpDir, true); err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if err := runOne(ctx, out, e, o, jsonOut, gpDir, true); err != nil {
 				return err
 			}
 		}
@@ -131,7 +196,7 @@ func dispatch(out io.Writer, o experiments.Options, list, all bool, id string, j
 		if err != nil {
 			return err
 		}
-		return runOne(out, e, o, jsonOut, gpDir, false)
+		return runOne(ctx, out, e, o, jsonOut, gpDir, false)
 	default:
 		return &usageError{}
 	}
@@ -139,8 +204,10 @@ func dispatch(out io.Writer, o experiments.Options, list, all bool, id string, j
 
 // runOne executes one experiment in the requested output form. In -all
 // mode (skipMissing), experiments without a series form are skipped for
-// -json instead of failing.
-func runOne(out io.Writer, e experiments.Experiment, o experiments.Options, jsonOut bool, gpDir string, skipMissing bool) error {
+// -json instead of failing. An experiment cut short by an interrupt emits
+// nothing: partial tables would differ from a clean run's, and the whole
+// point of the journal is that the re-run is byte-identical.
+func runOne(ctx context.Context, out io.Writer, e experiments.Experiment, o experiments.Options, jsonOut bool, gpDir string, skipMissing bool) error {
 	if jsonOut {
 		if e.Series == nil {
 			if skipMissing {
@@ -148,19 +215,28 @@ func runOne(out io.Writer, e experiments.Experiment, o experiments.Options, json
 			}
 			return fmt.Errorf("%s has no structured series form", e.ID)
 		}
-		return writeJSON(out, e, o)
+		return writeJSON(ctx, out, e, o)
+	}
+	// Run before printing the header: an interrupted experiment must not
+	// leave a header with a truncated table behind.
+	text := e.Run(o)
+	if ctx.Err() != nil {
+		return nil
 	}
 	fmt.Fprintf(out, "==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
-	text := e.Run(o)
 	fmt.Fprintln(out, text)
 	return writeGnuplot(gpDir, e, text)
 }
 
 // writeJSON emits the experiment's measurement points as NDJSON, one
 // record per (x, system) point.
-func writeJSON(out io.Writer, e experiments.Experiment, o experiments.Options) error {
+func writeJSON(ctx context.Context, out io.Writer, e experiments.Experiment, o experiments.Options) error {
+	records := experiments.Records(e, o)
+	if ctx.Err() != nil {
+		return nil
+	}
 	enc := json.NewEncoder(out)
-	for _, r := range experiments.Records(e, o) {
+	for _, r := range records {
 		if err := enc.Encode(r); err != nil {
 			return err
 		}
@@ -170,7 +246,9 @@ func writeJSON(out io.Writer, e experiments.Experiment, o experiments.Options) e
 
 // writeGnuplot stores the experiment output as <id>.dat and, for the
 // thesis-style rate tables (a "# x<TAB>name:rate%..." header), a matching
-// linespoints plot script — the format the thesis's own plots use.
+// linespoints plot script — the format the thesis's own plots use. Both
+// artifacts are written atomically (temp file + rename), so a concurrent
+// plot run or a crash never sees a half-written file.
 func writeGnuplot(dir string, e experiments.Experiment, out string) error {
 	if dir == "" {
 		return nil
@@ -179,7 +257,7 @@ func writeGnuplot(dir string, e experiments.Experiment, out string) error {
 		return err
 	}
 	dat := filepath.Join(dir, e.ID+".dat")
-	if err := os.WriteFile(dat, []byte(out), 0o644); err != nil {
+	if err := journal.WriteFileAtomic(dat, []byte(out), 0o644); err != nil {
 		return err
 	}
 	lines := strings.Split(out, "\n")
@@ -224,5 +302,5 @@ set output %q
 plot \
 %s
 `, e.Title, e.ID+".png", strings.Join(plots, ", \\\n"))
-	return os.WriteFile(filepath.Join(dir, e.ID+".gp"), []byte(script), 0o644)
+	return journal.WriteFileAtomic(filepath.Join(dir, e.ID+".gp"), []byte(script), 0o644)
 }

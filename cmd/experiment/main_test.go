@@ -2,12 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
+func runBG(args []string, out, errb *bytes.Buffer) int {
+	return run(context.Background(), args, out, errb)
+}
+
 // TestRunExitCodes pins the documented exit-code contract of run():
-// 0 success, 1 runtime failure, 2 usage error.
+// 0 success, 1 runtime failure, 2 usage error, 3 interrupted.
 func TestRunExitCodes(t *testing.T) {
 	cases := []struct {
 		name string
@@ -17,15 +24,54 @@ func TestRunExitCodes(t *testing.T) {
 		{"list", []string{"-list"}, 0},
 		{"no mode", nil, 2},
 		{"bad flag", []string{"-no-such-flag"}, 2},
-		{"bad rate", []string{"-id", "fig4.2", "-rates", "abc"}, 2},
 		{"unknown id", []string{"-id", "nope"}, 1},
 		{"json without series", []string{"-id", "fig4.1", "-json"}, 1},
+		{"resume without journal", []string{"-id", "fig4.2", "-resume"}, 2},
+		{"resume missing journal", []string{"-id", "fig4.2", "-journal", filepath.Join(t.TempDir(), "void"), "-resume"}, 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
 			var out, errb bytes.Buffer
-			if got := run(c.args, &out, &errb); got != c.code {
+			if got := runBG(c.args, &out, &errb); got != c.code {
 				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", c.args, got, c.code, errb.String())
+			}
+		})
+	}
+}
+
+// TestRunRatesValidation pins the -rates contract: every value must be a
+// positive, finite Mbit/s number; anything else is a usage error (exit 2)
+// with a diagnostic naming the offending value.
+func TestRunRatesValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rates string
+		code  int
+	}{
+		{"valid", "300,900", 0},
+		{"valid with spaces", " 50 , 950 ", 0},
+		{"fractional", "0.5,1.5", 0},
+		{"empty element", "300,,900", 2},
+		{"non-numeric", "abc", 2},
+		{"zero", "0", 2},
+		{"negative", "-100", 2},
+		{"NaN", "NaN", 2},
+		{"plus inf", "Inf", 2},
+		{"minus inf", "-Inf", 2},
+		{"exponent inf", "1e999", 2},
+		{"trailing junk", "300x", 2},
+		{"valid then bad", "300,0,900", 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			args := []string{"-id", "fig6.2-smp", "-packets", "500", "-rates", c.rates}
+			got := runBG(args, &out, &errb)
+			if got != c.code {
+				t.Fatalf("-rates %q: exit %d, want %d\nstderr: %s", c.rates, got, c.code, errb.String())
+			}
+			if c.code == 2 && !strings.Contains(errb.String(), "bad rate") {
+				t.Fatalf("-rates %q: missing diagnostic:\n%s", c.rates, errb.String())
 			}
 		})
 	}
@@ -36,7 +82,7 @@ func TestRunExitCodes(t *testing.T) {
 // single-exit-point design.
 func TestRunFlushesBufferedOutput(t *testing.T) {
 	var out, errb bytes.Buffer
-	code := run([]string{"-id", "fig4.2"}, &out, &errb)
+	code := runBG([]string{"-id", "fig4.2"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
@@ -48,11 +94,14 @@ func TestRunFlushesBufferedOutput(t *testing.T) {
 // TestRunUsageDocumentsExitCodes: -h must describe the exit codes.
 func TestRunUsageDocumentsExitCodes(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-h"}, &out, &errb); code != 2 {
+	if code := runBG([]string{"-h"}, &out, &errb); code != 2 {
 		t.Fatalf("-h exit = %d, want 2", code)
 	}
 	usage := errb.String()
-	for _, want := range []string{"Exit codes:", "0  success", "1  runtime failure", "2  usage error", "-chaos"} {
+	for _, want := range []string{
+		"Exit codes:", "0  success", "1  runtime failure", "2  usage error",
+		"3  interrupted", "-chaos", "-journal", "-resume",
+	} {
 		if !strings.Contains(usage, want) {
 			t.Fatalf("usage missing %q:\n%s", want, usage)
 		}
@@ -64,10 +113,116 @@ func TestRunUsageDocumentsExitCodes(t *testing.T) {
 func TestRunChaosFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	args := []string{"-id", "fig6.2-nosmp", "-packets", "2000", "-rates", "300,700", "-chaos", "42"}
-	if code := run(args, &out, &errb); code != 0 {
+	if code := runBG(args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr: %s", code, errb.String())
 	}
 	if !strings.Contains(out.String(), "# chaos: attempts / quarantined / rejected repetitions per point") {
 		t.Fatalf("chaos table missing:\n%s", out.String())
+	}
+}
+
+// TestRunInterrupted: a cancelled context exits with code 3, emits no
+// partial tables, and points at -resume when a journal is in play.
+func TestRunInterrupted(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out, errb bytes.Buffer
+	args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-rates", "300,900"}
+	if code := run(ctx, args, &out, &errb); code != exitInterrupted {
+		t.Fatalf("cancelled run exit = %d, want %d", code, exitInterrupted)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("interrupted run emitted partial output:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "interrupted") {
+		t.Fatalf("no interrupt notice on stderr:\n%s", errb.String())
+	}
+
+	dir := t.TempDir()
+	out.Reset()
+	errb.Reset()
+	if code := run(ctx, append(args, "-journal", dir), &out, &errb); code != exitInterrupted {
+		t.Fatalf("cancelled journaled run exit = %d, want %d", code, exitInterrupted)
+	}
+	if !strings.Contains(errb.String(), "-resume") {
+		t.Fatalf("interrupt notice does not point at -resume:\n%s", errb.String())
+	}
+}
+
+// TestRunJournalResumeByteIdentical is the CLI-level kill-and-resume
+// check: a journaled campaign whose journal is torn mid-file (the crash
+// shape) resumes to output byte-identical to a clean, unjournaled run —
+// with and without chaos.
+func TestRunJournalResumeByteIdentical(t *testing.T) {
+	for _, chaos := range []string{"0", "7"} {
+		args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-reps", "2",
+			"-rates", "300,900", "-parallel", "2", "-chaos", chaos}
+
+		var clean, errb bytes.Buffer
+		if code := runBG(args, &clean, &errb); code != 0 {
+			t.Fatalf("clean run exit %d: %s", code, errb.String())
+		}
+
+		dir := t.TempDir()
+		var journaled bytes.Buffer
+		errb.Reset()
+		if code := runBG(append(args, "-journal", dir), &journaled, &errb); code != 0 {
+			t.Fatalf("journaled run exit %d: %s", code, errb.String())
+		}
+		if journaled.String() != clean.String() {
+			t.Fatalf("chaos=%s: journaled output differs from clean output", chaos)
+		}
+
+		// Crash simulation: tear the journal mid-file.
+		path := filepath.Join(dir, "campaign.journal")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		var resumed bytes.Buffer
+		errb.Reset()
+		if code := runBG(append(args, "-journal", dir, "-resume"), &resumed, &errb); code != 0 {
+			t.Fatalf("resumed run exit %d: %s", code, errb.String())
+		}
+		if !strings.Contains(errb.String(), "resuming campaign") {
+			t.Fatalf("no resume notice:\n%s", errb.String())
+		}
+		if !strings.Contains(errb.String(), "torn tail") {
+			t.Fatalf("torn tail not reported:\n%s", errb.String())
+		}
+		if resumed.String() != clean.String() {
+			t.Fatalf("chaos=%s: resumed output not byte-identical to clean run", chaos)
+		}
+	}
+}
+
+// TestRunGnuplotAtomic: -gp writes the artifacts atomically and leaves no
+// temp files behind.
+func TestRunGnuplotAtomic(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-id", "fig6.2-smp", "-packets", "1000", "-rates", "300", "-gp", dir}
+	if code := runBG(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if len(names) != 2 {
+		t.Fatalf("want exactly .dat and .gp, got %v", names)
+	}
+	for _, want := range []string{"fig6.2-smp.dat", "fig6.2-smp.gp"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing artifact %s (have %v)", want, names)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -216,6 +217,43 @@ func (l Ledger) MarshalJSON() ([]byte, error) {
 	}
 	b.WriteByte('}')
 	return []byte(b.String()), nil
+}
+
+// CauseFromString is the inverse of Cause.String.
+func CauseFromString(s string) (Cause, bool) {
+	for c := Cause(0); c < NumCauses; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// UnmarshalJSON parses the cause-keyed object MarshalJSON produces, so a
+// ledger round-trips exactly through JSON — the property the campaign
+// journal relies on to replay recorded cells byte-identically.
+func (l *Ledger) UnmarshalJSON(b []byte) error {
+	*l = Ledger{}
+	var m map[string]struct {
+		Packets uint64 `json:"packets"`
+		Bytes   uint64 `json:"bytes"`
+		FirstNS int64  `json:"firstNS"`
+		LastNS  int64  `json:"lastNS"`
+	}
+	if err := json.Unmarshal(b, &m); err != nil {
+		return err
+	}
+	for name, d := range m {
+		c, ok := CauseFromString(name)
+		if !ok {
+			return fmt.Errorf("capture: unknown drop cause %q in ledger JSON", name)
+		}
+		l.Drops[c] = DropRecord{
+			Packets: d.Packets, Bytes: d.Bytes,
+			First: sim.Time(d.FirstNS), Last: sim.Time(d.LastNS),
+		}
+	}
+	return nil
 }
 
 // BookFaultLoss accounts pkts frames (bytes total, last seen around time

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 
 	"repro/internal/arch"
 	"repro/internal/filter"
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -216,5 +218,48 @@ func TestExplainGolden(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Fatalf("Explain drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestLedgerJSONRoundTrip: the cause-keyed MarshalJSON form must decode
+// back into the identical ledger — the campaign journal replays recorded
+// cells through this path and promises byte-identical aggregation.
+func TestLedgerJSONRoundTrip(t *testing.T) {
+	var l Ledger
+	for c := Cause(0); c < NumCauses; c++ {
+		l.RecordN(c, int(c)+3, uint64(c)*1000+17, sim.Time(int64(c)*7919+1))
+		l.RecordN(c, 1, 40, sim.Time(int64(c)*7919+900))
+	}
+	b, err := json.Marshal(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Ledger
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got != l {
+		t.Fatalf("ledger changed across JSON round trip:\n%+v\nvs\n%+v", got, l)
+	}
+
+	// A real run's full Stats must round-trip too (ledger, gauges,
+	// per-CPU busy arrays — everything aggregation reads).
+	sys := NewSystem(scaled(swanCfg(), 6000))
+	st := sys.Run(newGen(6000, 900, 3))
+	sb, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 Stats
+	if err := json.Unmarshal(sb, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st, st2) {
+		t.Fatalf("Stats changed across JSON round trip:\n%+v\nvs\n%+v", st, st2)
+	}
+
+	// Unknown causes must fail loudly, not silently drop packets.
+	if err := json.Unmarshal([]byte(`{"no-such-cause":{"packets":1}}`), &got); err == nil {
+		t.Fatal("unknown cause accepted")
 	}
 }

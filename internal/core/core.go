@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -212,7 +213,7 @@ type Series struct {
 // (parallel.go) runs the same cells on a worker pool with byte-identical
 // output.
 func SweepRates(cfgs []capture.Config, ratesMbit []float64, w Workload, reps int) []Series {
-	return SweepRatesParallel(cfgs, ratesMbit, w, reps, 0)
+	return SweepRatesParallel(context.Background(), cfgs, ratesMbit, w, reps, 0)
 }
 
 // aggregatePoint folds the per-repetition statistics of one cell column

@@ -5,9 +5,17 @@
 // each train once (feed.go), runs the cells on a worker pool, and
 // reassembles the series in the fixed plotting order — so the output is
 // byte-identical to the serial path for any worker count.
+//
+// Every entry point takes a context: on cancellation the pool drains
+// cleanly — in-flight cells finish, queued cells are marked with the
+// context's error, and no worker goroutine is abandoned. Combined with a
+// CellJournal (the durable write-ahead log of completed cells), an
+// interrupted sweep resumes exactly where it left off.
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +36,35 @@ type Cell struct {
 	// and truncated generator trains (and tests use for failure hooks).
 	// The recorded feed itself stays shared and pristine.
 	Wrap func(capture.Source) capture.Source
+}
+
+// CellKey identifies one measurement cell durably, across process
+// restarts: the experiment it belongs to, the point fingerprint and
+// repetition (CellID), and the system under test. It is the journal key
+// of the campaign write-ahead log.
+type CellKey struct {
+	Experiment string `json:"experiment"`
+	Point      uint64 `json:"point"`
+	System     string `json:"system"`
+	Rep        int    `json:"rep"`
+}
+
+// cellKey builds the durable key of cell c under experiment.
+func cellKey(experiment string, c Cell, id CellID) CellKey {
+	return CellKey{Experiment: experiment, Point: id.Point, System: c.Cfg.Name, Rep: id.Rep}
+}
+
+// CellJournal is the durable campaign log the engines record completed
+// cells into (and replay them from). Implementations must be safe for
+// concurrent Record calls: workers append as cells finish. The contract
+// is write-ahead: Record must make the outcome durable before returning,
+// and Lookup must only return outcomes Record accepted. Duplicate keys
+// are last-write-wins.
+type CellJournal interface {
+	// Lookup returns the recorded final outcome of a completed cell.
+	Lookup(k CellKey) (CellOutcome, bool)
+	// Record durably appends the final outcome of a completed cell.
+	Record(k CellKey, out CellOutcome) error
 }
 
 // Workers resolves a parallelism knob to a worker count: 0 keeps the
@@ -55,6 +92,12 @@ func (e *CellPanicError) Error() string {
 	return fmt.Sprintf("core: cell %d (%s) panicked: %v", e.Index, e.System, e.Value)
 }
 
+// IsCancel reports whether err is a context cancellation — an expected
+// interruption, not a cell failure.
+func IsCancel(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // RunCells executes independent measurement cells and returns their
 // statistics in cell order. workers follows the Workers convention
 // (0 = serial). Cells with an identical Workload share one recorded feed
@@ -64,11 +107,13 @@ func (e *CellPanicError) Error() string {
 // A panic inside a cell is recovered in the worker and re-raised here, in
 // the caller's goroutine, only after every other cell has completed — the
 // pool always drains, no sibling goroutine is left blocked on the job
-// channel. Callers that want to survive a failed cell use RunCellsErr.
-func RunCells(cells []Cell, workers int) []capture.Stats {
-	results, errs := RunCellsErr(cells, workers)
+// channel. Cells skipped because ctx was cancelled return zero Stats; the
+// caller detects the interruption via ctx.Err(). Callers that want to
+// survive a failed cell use RunCellsErr.
+func RunCells(ctx context.Context, cells []Cell, workers int) []capture.Stats {
+	results, errs := RunCellsErr(ctx, cells, workers)
 	for _, err := range errs {
-		if err != nil {
+		if err != nil && !IsCancel(err) {
 			panic(err)
 		}
 	}
@@ -77,11 +122,51 @@ func RunCells(cells []Cell, workers int) []capture.Stats {
 
 // RunCellsErr is RunCells with per-cell failure capture: a panicking cell
 // yields a zero Stats and a *CellPanicError in the same slot instead of
-// crashing the process. Each cell owns a private sim.Sim (built by
+// crashing the process, and a cell skipped by context cancellation
+// carries the context's error. Each cell owns a private sim.Sim (built by
 // capture.NewSystem); the only state crossing goroutines is the immutable
 // feed and the result/error slots.
-func RunCellsErr(cells []Cell, workers int) ([]capture.Stats, []error) {
-	return runCellsWith(cells, workers, NewFeedCache(DefaultFeedCacheSize), nil)
+func RunCellsErr(ctx context.Context, cells []Cell, workers int) ([]capture.Stats, []error) {
+	return runCellsWith(ctx, cells, workers, NewFeedCache(DefaultFeedCacheSize), nil)
+}
+
+// RunCellsDurable is RunCellsErr backed by the campaign journal: cells
+// whose final outcome is already recorded under (experiment, ids[i]) are
+// replayed from the journal without running, and every freshly completed
+// cell is recorded — durably, before its result is used — so an
+// interrupted campaign loses at most the cells that were still in flight.
+// ids must parallel cells. A nil journal degrades to RunCellsErr. A
+// failed journal append surfaces as the cell's error: durability failures
+// must not masquerade as measurements.
+func RunCellsDurable(ctx context.Context, cells []Cell, ids []CellID, workers int, experiment string, j CellJournal) ([]capture.Stats, []error) {
+	if j == nil {
+		return RunCellsErr(ctx, cells, workers)
+	}
+	if len(ids) != len(cells) {
+		panic(fmt.Sprintf("core: %d ids for %d cells", len(ids), len(cells)))
+	}
+	results := make([]capture.Stats, len(cells))
+	errs := make([]error, len(cells))
+	var torun []Cell
+	var idx []int
+	for i := range cells {
+		if out, ok := j.Lookup(cellKey(experiment, cells[i], ids[i])); ok && out.OK {
+			results[i] = out.Stats
+			continue
+		}
+		torun = append(torun, cells[i])
+		idx = append(idx, i)
+	}
+	sub, subErrs := runCellsWith(ctx, torun, workers, NewFeedCache(DefaultFeedCacheSize),
+		func(bi int, st *capture.Stats) error {
+			i := idx[bi]
+			return j.Record(cellKey(experiment, cells[i], ids[i]),
+				CellOutcome{Stats: *st, OK: true, Attempts: 1})
+		})
+	for bi, i := range idx {
+		results[i], errs[i] = sub[bi], subErrs[bi]
+	}
+	return results, errs
 }
 
 // runCellsWith is the pool body shared by RunCellsErr and the resilient
@@ -89,8 +174,13 @@ func RunCellsErr(cells []Cell, workers int) ([]capture.Stats, []error) {
 // and post — when non-nil — runs in the worker right after each cell,
 // inside the panic-recovery scope and while the cell's feed is still hot
 // in the cache (the resilient engine validates and books fault losses
-// there). A non-nil error from post lands in the cell's error slot.
-func runCellsWith(cells []Cell, workers int, feeds *FeedCache, post func(i int, st *capture.Stats) error) ([]capture.Stats, []error) {
+// there; the durable engine records the cell in the journal). A non-nil
+// error from post lands in the cell's error slot.
+//
+// Cancellation drains the pool instead of abandoning it: the dispatcher
+// stops handing out cells, every worker finishes its in-flight cell and
+// exits, and cells never dispatched carry ctx.Err() in their error slot.
+func runCellsWith(ctx context.Context, cells []Cell, workers int, feeds *FeedCache, post func(i int, st *capture.Stats) error) ([]capture.Stats, []error) {
 	results := make([]capture.Stats, len(cells))
 	errs := make([]error, len(cells))
 	runCell := func(i int) {
@@ -124,6 +214,10 @@ func runCellsWith(cells []Cell, workers int, feeds *FeedCache, post func(i int, 
 		// Serial fallback (and the degenerate one-worker pool): same code
 		// path as the pool body, no goroutines.
 		for i := range cells {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				continue
+			}
 			runCell(i)
 		}
 		return results, errs
@@ -140,10 +234,24 @@ func runCellsWith(cells []Cell, workers int, feeds *FeedCache, post func(i int, 
 			}
 		}()
 	}
-	for i := range cells {
-		jobs <- i
+	i := 0
+dispatch:
+	for ; i < len(cells); i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(jobs)
+	// Cells never dispatched carry the cancellation; their slots are
+	// disjoint from anything a worker still writes.
+	for ; i < len(cells); i++ {
+		errs[i] = ctx.Err()
+	}
 	wg.Wait()
 	return results, errs
 }
@@ -155,18 +263,13 @@ func stackTrace() []byte {
 	return buf[:runtime.Stack(buf, false)]
 }
 
-// SweepRatesParallel is SweepRates with the measurement cells distributed
-// over a worker pool (workers per the Workers convention; 0 = serial).
-// Results are reassembled in the fixed plotting order, so FormatTable
-// output is byte-identical regardless of worker count or completion order.
-func SweepRatesParallel(cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int) []Series {
-	if reps <= 0 {
-		reps = 1
-	}
-	// Column-major cell order: the systems of one (rate, rep) column are
-	// adjacent, so they replay the column's feed while it is hot in the
-	// LRU and workers draining nearby indices share one recording.
+// sweepCells lays out the standard §3.4 rate sweep as measurement cells in
+// column-major order — the systems of one (rate, rep) column are adjacent,
+// so they replay the column's feed while it is hot in the LRU and workers
+// draining nearby indices share one recording — with the matching CellIDs.
+func sweepCells(cfgs []capture.Config, ratesMbit []float64, w Workload, reps int) ([]Cell, []CellID) {
 	cells := make([]Cell, 0, len(ratesMbit)*reps*len(cfgs))
+	ids := make([]CellID, 0, len(ratesMbit)*reps*len(cfgs))
 	for _, r := range ratesMbit {
 		for rep := 0; rep < reps; rep++ {
 			wl := w
@@ -174,10 +277,39 @@ func SweepRatesParallel(cfgs []capture.Config, ratesMbit []float64, w Workload, 
 			wl.Seed = w.Seed + uint64(rep)*repSeedStride
 			for _, cfg := range cfgs {
 				cells = append(cells, Cell{Cfg: cfg, W: wl})
+				ids = append(ids, CellID{Point: pointKey(r), Rep: rep})
 			}
 		}
 	}
-	stats := RunCells(cells, workers)
+	return cells, ids
+}
+
+// SweepRatesParallel is SweepRates with the measurement cells distributed
+// over a worker pool (workers per the Workers convention; 0 = serial).
+// Results are reassembled in the fixed plotting order, so FormatTable
+// output is byte-identical regardless of worker count or completion order.
+// On cancellation the returned series are incomplete and must be
+// discarded — callers check ctx.Err().
+func SweepRatesParallel(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int) []Series {
+	return SweepRatesDurable(ctx, cfgs, ratesMbit, w, reps, workers, "", nil)
+}
+
+// SweepRatesDurable is SweepRatesParallel under the campaign journal:
+// cells already recorded under experiment are replayed instead of re-run,
+// fresh cells are recorded as they complete, and the aggregated output is
+// byte-identical to an uninterrupted, unjournaled sweep — recorded Stats
+// round-trip exactly. A nil journal runs a plain sweep.
+func SweepRatesDurable(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, experiment string, j CellJournal) []Series {
+	if reps <= 0 {
+		reps = 1
+	}
+	cells, ids := sweepCells(cfgs, ratesMbit, w, reps)
+	stats, errs := RunCellsDurable(ctx, cells, ids, workers, experiment, j)
+	for _, err := range errs {
+		if err != nil && !IsCancel(err) {
+			panic(err)
+		}
+	}
 
 	out := make([]Series, len(cfgs))
 	runs := make([]capture.Stats, reps)

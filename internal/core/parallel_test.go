@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"testing"
@@ -16,10 +17,10 @@ func TestSweepParallelMatchesSerial(t *testing.T) {
 	cfgs := Sniffers()
 	w := Workload{Packets: 2500, Seed: 5}
 	rates := []float64{150, 450, 900}
-	serial := SweepRatesParallel(cfgs, rates, w, 2, 0)
+	serial := SweepRatesParallel(context.Background(), cfgs, rates, w, 2, 0)
 	serialTbl := FormatTable("t", serial)
 	for _, workers := range []int{1, 3, 8, -1} {
-		par := SweepRatesParallel(cfgs, rates, w, 2, workers)
+		par := SweepRatesParallel(context.Background(), cfgs, rates, w, 2, workers)
 		if !reflect.DeepEqual(serial, par) {
 			t.Fatalf("workers=%d: series differ from serial", workers)
 		}
@@ -35,7 +36,7 @@ func TestSweepSerialDelegationUnchanged(t *testing.T) {
 	cfgs := []capture.Config{Swan()}
 	w := Workload{Packets: 2000, Seed: 9}
 	a := SweepRates(cfgs, []float64{300, 800}, w, 2)
-	b := SweepRatesParallel(cfgs, []float64{300, 800}, w, 2, 4)
+	b := SweepRatesParallel(context.Background(), cfgs, []float64{300, 800}, w, 2, 4)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("SweepRates differs from the parallel engine")
 	}
@@ -47,7 +48,7 @@ func TestRunCellsOrderAndFeedSharing(t *testing.T) {
 	for _, cfg := range Sniffers() {
 		cells = append(cells, Cell{Cfg: cfg, W: w})
 	}
-	stats := RunCells(cells, 4)
+	stats := RunCells(context.Background(), cells, 4)
 	if len(stats) != len(cells) {
 		t.Fatalf("got %d results for %d cells", len(stats), len(cells))
 	}
@@ -92,7 +93,7 @@ func TestRunCellsWorkerPanicRecovered(t *testing.T) {
 		return &panicSource{src: src, after: 5}
 	}
 	// More cells than workers so a dying worker would strand queued jobs.
-	stats, errs := RunCellsErr(cells, 2)
+	stats, errs := RunCellsErr(context.Background(), cells, 2)
 	for i := range cells {
 		if i == bad {
 			var pe *CellPanicError
@@ -124,7 +125,7 @@ func TestRunCellsWorkerPanicRecovered(t *testing.T) {
 			t.Fatalf("RunCells re-raised %T, want *CellPanicError", r)
 		}
 	}()
-	RunCells(cells, 2)
+	RunCells(context.Background(), cells, 2)
 }
 
 func TestAggregateDefensive(t *testing.T) {

@@ -8,9 +8,17 @@
 // points are marked Degraded instead of aborting the sweep. Injected
 // losses are booked into the drop-cause ledger under the fault-* causes,
 // so the conservation check holds against the switch's ground truth.
+//
+// The engine is also durable: with a CellJournal in ChaosOptions every
+// final cell outcome — accepted or quarantined — is recorded in the
+// campaign write-ahead log as soon as it is known, and cells already
+// recorded are replayed without running. Fault draws are keyed by (plan
+// seed, point, system, rep, attempt), never by execution order, so a
+// resumed chaos campaign reproduces the uninterrupted one bit for bit.
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -40,6 +48,15 @@ type ChaosOptions struct {
 	// repetition is never rejected, guarding the MAD ≈ 0 case of
 	// near-identical repetitions (default 0.5).
 	MADFloor float64
+	// Journal, when non-nil, makes the run durable: cells with a recorded
+	// final outcome are replayed from the journal instead of running, and
+	// every newly finalized outcome (accepted or quarantined) is recorded
+	// before the engine returns it. A journal append failure panics —
+	// durability failures must never masquerade as measurements.
+	Journal CellJournal
+	// Experiment namespaces the journal keys of this run (the experiment
+	// id); only meaningful with a non-nil Journal.
+	Experiment string
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -58,17 +75,20 @@ func (o ChaosOptions) withDefaults() ChaosOptions {
 	return o
 }
 
-// CellID names a cell for the fault model: the measurement point it
-// belongs to (a stable fingerprint, e.g. the x value's bits) and the
-// repetition index. Faults are drawn from (plan seed, point, system,
-// rep, attempt), never from execution order, so chaos runs are exactly
-// reproducible for any worker count.
+// CellID names a cell for the fault model and the campaign journal: the
+// measurement point it belongs to (a stable fingerprint, e.g. the x
+// value's bits) and the repetition index. Faults are drawn from (plan
+// seed, point, system, rep, attempt), never from execution order, so
+// chaos runs are exactly reproducible for any worker count — and across
+// an interrupt-and-resume boundary.
 type CellID struct {
 	Point uint64
 	Rep   int
 }
 
-// CellOutcome is the supervised result of one measurement cell.
+// CellOutcome is the supervised result of one measurement cell. It is
+// what the campaign journal stores per cell, so every field must — and
+// does — round-trip exactly through JSON.
 type CellOutcome struct {
 	Stats capture.Stats
 	// OK: a validated Stats was produced (possibly degraded). When false
@@ -103,8 +123,12 @@ func (e *cellFault) Error() string { return e.reason }
 // validation, bounded retry and quarantine. ids must parallel cells.
 // Results are in cell order; the call always returns — a cell that cannot
 // be measured is quarantined, never retried forever, and a panicking cell
-// is recovered and retried like any other failed attempt.
-func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions) []CellOutcome {
+// is recovered and retried like any other failed attempt. On context
+// cancellation the engine drains: in-flight attempts finish (and are
+// journaled if they validate), but no new attempts start and unfinished
+// cells are left unresolved — neither accepted nor quarantined — so a
+// resumed campaign measures them from scratch.
+func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers int, co ChaosOptions) []CellOutcome {
 	if len(ids) != len(cells) {
 		panic(fmt.Sprintf("core: %d ids for %d cells", len(ids), len(cells)))
 	}
@@ -112,16 +136,31 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 	outs := make([]CellOutcome, len(cells))
 	feeds := NewFeedCache(DefaultFeedCacheSize)
 
-	pending := make([]int, len(cells))
+	record := func(i int) {
+		if co.Journal == nil {
+			return
+		}
+		if err := co.Journal.Record(cellKey(co.Experiment, cells[i], ids[i]), outs[i]); err != nil {
+			panic(fmt.Errorf("core: journal record %v: %w", cellKey(co.Experiment, cells[i], ids[i]), err))
+		}
+	}
+
+	pending := make([]int, 0, len(cells))
 	for i := range cells {
-		pending[i] = i
+		if co.Journal != nil {
+			if out, ok := co.Journal.Lookup(cellKey(co.Experiment, cells[i], ids[i])); ok && (out.OK || out.Quarantined) {
+				outs[i] = out
+				continue
+			}
+		}
+		pending = append(pending, i)
 	}
 
 	logf := func(i int, format string, args ...any) {
 		outs[i].Log = append(outs[i].Log, fmt.Sprintf(format, args...))
 	}
 
-	for attempt := 0; attempt <= co.RetryBudget && len(pending) > 0; attempt++ {
+	for attempt := 0; attempt <= co.RetryBudget && len(pending) > 0 && ctx.Err() == nil; attempt++ {
 		// Retries pay the control host's simulated backoff, doubling per
 		// attempt (capped by the retry budget, so this stays bounded).
 		if attempt > 0 {
@@ -202,7 +241,7 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 		// Run the batch; validation happens in the worker while the cell's
 		// feed is still hot in the shared cache.
 		if len(batch) > 0 {
-			results, errs := runCellsWith(batch, workers, feeds, func(bi int, st *capture.Stats) error {
+			results, errs := runCellsWith(ctx, batch, workers, feeds, func(bi int, st *capture.Stats) error {
 				in := inj[bi]
 				expected := feeds.Get(batch[bi].W).Sent
 				// A degraded splitter leg is an environmental loss, not a
@@ -224,6 +263,11 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 				return nil
 			})
 			for bi, i := range batchIdx {
+				if IsCancel(errs[bi]) {
+					// Interrupted, not faulted: the cell stays unresolved and
+					// a resumed campaign measures it from scratch.
+					continue
+				}
 				if errs[bi] != nil {
 					logf(i, "rep%d.%d %s:retry: %v", ids[i].Rep, attempt, cells[i].Cfg.Name, errs[bi])
 					// Keep the last failed attempt's partial data so a
@@ -239,6 +283,8 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 				outs[i].Stats = results[bi]
 				outs[i].OK = true
 				outs[i].Degraded = inj[bi].lossy != nil && inj[bi].lossy.Lost > 0
+				// The outcome is final — make it durable before it is used.
+				record(i)
 			}
 		}
 
@@ -251,8 +297,14 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 		pending = next
 	}
 
-	for _, i := range pending {
-		outs[i].Quarantined = true
+	// Quarantine is a final verdict: only pronounce (and journal) it when
+	// the retry budget is truly exhausted, not when an interrupt cut the
+	// budget short.
+	if ctx.Err() == nil {
+		for _, i := range pending {
+			outs[i].Quarantined = true
+			record(i)
+		}
 	}
 	return outs
 }
@@ -261,30 +313,19 @@ func RunCellsResilient(cells []Cell, ids []CellID, workers int, co ChaosOptions)
 // cells, each supervised by RunCellsResilient, aggregated per point over
 // the repetitions that survived validation and the MAD outlier rejection.
 // Points whose accepted data is impaired are marked Degraded; the sweep
-// always completes. With a nil plan the numeric output matches
-// SweepRatesParallel exactly (the chaos counters then just record one
-// clean attempt per repetition).
-func SweepRatesResilient(cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, co ChaosOptions) []Series {
+// always completes (on context cancellation the returned series are
+// incomplete and must be discarded — callers check ctx.Err()). With a nil
+// plan the numeric output matches SweepRatesParallel exactly (the chaos
+// counters then just record one clean attempt per repetition).
+func SweepRatesResilient(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, co ChaosOptions) []Series {
 	if reps <= 0 {
 		reps = 1
 	}
 	co = co.withDefaults()
 	// Identical cell layout to SweepRatesParallel: column-major, so the
 	// systems of one (rate, rep) column share one recorded feed.
-	cells := make([]Cell, 0, len(ratesMbit)*reps*len(cfgs))
-	ids := make([]CellID, 0, cap(cells))
-	for _, r := range ratesMbit {
-		for rep := 0; rep < reps; rep++ {
-			wl := w
-			wl.TargetRate = r * 1e6
-			wl.Seed = w.Seed + uint64(rep)*repSeedStride
-			for _, cfg := range cfgs {
-				cells = append(cells, Cell{Cfg: cfg, W: wl})
-				ids = append(ids, CellID{Point: pointKey(r), Rep: rep})
-			}
-		}
-	}
-	outs := RunCellsResilient(cells, ids, workers, co)
+	cells, ids := sweepCells(cfgs, ratesMbit, w, reps)
+	outs := RunCellsResilient(ctx, cells, ids, workers, co)
 
 	out := make([]Series, len(cfgs))
 	for i, cfg := range cfgs {

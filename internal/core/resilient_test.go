@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"strings"
 	"testing"
@@ -17,8 +18,8 @@ func TestChaosNilPlanMatchesParallel(t *testing.T) {
 	w := Workload{Packets: 2000, Seed: 5}
 	rates := []float64{200, 800}
 	reps := 2
-	clean := SweepRatesParallel(cfgs, rates, w, reps, 2)
-	chaos := SweepRatesResilient(cfgs, rates, w, reps, 2, ChaosOptions{})
+	clean := SweepRatesParallel(context.Background(), cfgs, rates, w, reps, 2)
+	chaos := SweepRatesResilient(context.Background(), cfgs, rates, w, reps, 2, ChaosOptions{})
 	for si := range chaos {
 		for pi := range chaos[si].Points {
 			p := chaos[si].Points[pi]
@@ -41,9 +42,9 @@ func TestChaosDeterministic(t *testing.T) {
 	w := Workload{Packets: 1500, Seed: 3}
 	rates := []float64{300, 900}
 	co := ChaosOptions{Plan: faults.DefaultPlan(42)}
-	a := SweepRatesResilient(cfgs, rates, w, 3, 0, co)
-	b := SweepRatesResilient(cfgs, rates, w, 3, 4, co)
-	c := SweepRatesResilient(cfgs, rates, w, 3, 4, co)
+	a := SweepRatesResilient(context.Background(), cfgs, rates, w, 3, 0, co)
+	b := SweepRatesResilient(context.Background(), cfgs, rates, w, 3, 4, co)
+	c := SweepRatesResilient(context.Background(), cfgs, rates, w, 3, 4, co)
 	if !reflect.DeepEqual(a, b) {
 		t.Fatal("chaos sweep differs between serial and 4 workers")
 	}
@@ -65,8 +66,8 @@ func TestChaosConvergesToCleanRates(t *testing.T) {
 	reps := 4
 	plan := faults.DefaultPlan(11)
 	co := ChaosOptions{Plan: plan}
-	clean := SweepRatesParallel(cfgs, rates, w, reps, 4)
-	chaos := SweepRatesResilient(cfgs, rates, w, reps, 4, co)
+	clean := SweepRatesParallel(context.Background(), cfgs, rates, w, reps, 4)
+	chaos := SweepRatesResilient(context.Background(), cfgs, rates, w, reps, 4, co)
 
 	quarantined := 0
 	for si := range chaos {
@@ -116,7 +117,7 @@ func TestFaultRetryRecoversPanic(t *testing.T) {
 		}
 		return src
 	}}}
-	outs := RunCellsResilient(cells, []CellID{{Point: 1, Rep: 0}}, 0, ChaosOptions{})
+	outs := RunCellsResilient(context.Background(), cells, []CellID{{Point: 1, Rep: 0}}, 0, ChaosOptions{})
 	o := outs[0]
 	if !o.OK || o.Quarantined {
 		t.Fatalf("panicking cell not recovered: %+v", o)
@@ -144,7 +145,7 @@ func TestChaosQuarantineAfterBudget(t *testing.T) {
 	co := ChaosOptions{Plan: plan, RetryBudget: 2}
 	w := Workload{Packets: 1000, Seed: 2}
 	outs := RunCellsResilient(
-		[]Cell{{Cfg: Swan(), W: w}}, []CellID{{Point: 9, Rep: 0}}, 0, co)
+		context.Background(), []Cell{{Cfg: Swan(), W: w}}, []CellID{{Point: 9, Rep: 0}}, 0, co)
 	o := outs[0]
 	if o.OK || !o.Quarantined {
 		t.Fatalf("always-hanging cell not quarantined: %+v", o)
@@ -159,7 +160,7 @@ func TestChaosQuarantineAfterBudget(t *testing.T) {
 	// The dead-sniffer case at sweep level: the other three systems keep
 	// measuring, the hung one's points are Degraded with zero rate.
 	series := SweepRatesResilient(
-		[]capture.Config{Swan(), Moorhen()}, []float64{400}, w, 2, 2,
+		context.Background(), []capture.Config{Swan(), Moorhen()}, []float64{400}, w, 2, 2,
 		ChaosOptions{Plan: &faults.Plan{Seed: 1, PHang: 1}, RetryBudget: 1})
 	for _, s := range series {
 		p := s.Points[0]
@@ -177,7 +178,7 @@ func TestChaosDegradedLegBooksFaultLoss(t *testing.T) {
 	plan := &faults.Plan{Seed: 6, PLegLoss: 1, LegLossRatio: 0.05}
 	w := Workload{Packets: 2000, Seed: 8, TargetRate: 4e8}
 	outs := RunCellsResilient(
-		[]Cell{{Cfg: Moorhen(), W: w}}, []CellID{{Point: 4, Rep: 1}}, 0,
+		context.Background(), []Cell{{Cfg: Moorhen(), W: w}}, []CellID{{Point: 4, Rep: 1}}, 0,
 		ChaosOptions{Plan: plan})
 	o := outs[0]
 	if !o.OK || !o.Degraded {

@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+func campaignOpts() Options {
+	return Options{Packets: 2000, Reps: 2, Seed: 1, Rates: []float64{300, 900}, Parallelism: 2}
+}
+
+// crashResume simulates a crash mid-campaign: cut the journal file in half
+// (almost certainly mid-frame — the torn-tail shape) and reopen it.
+func crashResume(t *testing.T, dir string, o Options) *Campaign {
+	t.Helper()
+	path := filepath.Join(dir, JournalFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ResumeCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCampaignResumeByteIdentical is the tentpole acceptance check at the
+// experiments layer: a campaign that crashed mid-run (torn journal tail)
+// and was resumed renders output byte-identical to an uninterrupted,
+// unjournaled run.
+func TestCampaignResumeByteIdentical(t *testing.T) {
+	e, err := Find("fig6.2-smp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chaos := range []uint64{0, 7} {
+		o := campaignOpts()
+		o.Chaos = chaos
+		clean := e.Run(o)
+
+		dir := t.TempDir()
+		c, err := CreateCampaign(dir, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oj := o
+		oj.Journal = c
+		if got := e.Run(oj); got != clean {
+			t.Fatalf("chaos=%d: journaled run differs from plain run", chaos)
+		}
+		recorded := c.Len()
+		if recorded == 0 {
+			t.Fatal("journaled run recorded no cells")
+		}
+		c.Close()
+
+		rc := crashResume(t, dir, o)
+		if !rc.Torn {
+			t.Fatal("half-truncated journal not reported torn")
+		}
+		if rc.Replayed == 0 || rc.Replayed >= recorded {
+			t.Fatalf("crash recovery replayed %d of %d cells", rc.Replayed, recorded)
+		}
+		or := o
+		or.Journal = rc
+		if got := e.Run(or); got != clean {
+			t.Fatalf("chaos=%d: resumed run not byte-identical to uninterrupted run", chaos)
+		}
+		// The resumed run must have re-recorded the lost cells.
+		if rc.Len() != recorded {
+			t.Fatalf("resumed campaign holds %d cells, want %d", rc.Len(), recorded)
+		}
+		rc.Close()
+	}
+}
+
+// TestCampaignFingerprintMismatch: a journal recorded under different
+// semantic options is refused with the typed error; presentation and
+// scheduling knobs don't participate in the identity.
+func TestCampaignFingerprintMismatch(t *testing.T) {
+	o := campaignOpts()
+	dir := t.TempDir()
+	c, err := CreateCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	other := o
+	other.Seed = 99
+	_, err = ResumeCampaign(dir, other)
+	var me *journal.MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("resume under different seed: want *journal.MismatchError, got %v", err)
+	}
+
+	// Parallelism/Why/Ctx/Journal are not part of the campaign identity.
+	same := o
+	same.Parallelism = 7
+	same.Why = true
+	rc, err := ResumeCampaign(dir, same)
+	if err != nil {
+		t.Fatalf("resume with different presentation knobs refused: %v", err)
+	}
+	rc.Close()
+}
+
+// TestCampaignDuplicateLastWins: recording one cell twice keeps the later
+// outcome after a resume — the write-ahead log's last-write-wins contract.
+func TestCampaignDuplicateLastWins(t *testing.T) {
+	o := campaignOpts()
+	dir := t.TempDir()
+	c, err := CreateCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := core.CellKey{Experiment: "rates", Point: 300000, System: "swan", Rep: 1}
+	if err := c.Record(k, core.CellOutcome{OK: true, Attempts: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Record(k, core.CellOutcome{OK: true, Attempts: 3, Log: []string{"retry"}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	rc, err := ResumeCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if rc.Len() != 1 {
+		t.Fatalf("duplicate key counted twice: %d cells", rc.Len())
+	}
+	out, ok := rc.Lookup(k)
+	if !ok || out.Attempts != 3 || len(out.Log) != 1 {
+		t.Fatalf("last write did not win: %+v", out)
+	}
+}
+
+// TestFingerprintSemanticFields: the identity tracks every semantic knob.
+func TestFingerprintSemanticFields(t *testing.T) {
+	base, err := Fingerprint(campaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, _ := Fingerprint(campaignOpts())
+	if base != again {
+		t.Fatal("fingerprint not deterministic")
+	}
+	for name, mutate := range map[string]func(*Options){
+		"packets": func(o *Options) { o.Packets = 4000 },
+		"reps":    func(o *Options) { o.Reps = 3 },
+		"seed":    func(o *Options) { o.Seed = 2 },
+		"rates":   func(o *Options) { o.Rates = []float64{100} },
+		"chaos":   func(o *Options) { o.Chaos = 1 },
+	} {
+		o := campaignOpts()
+		mutate(&o)
+		fp, _ := Fingerprint(o)
+		if fp == base {
+			t.Errorf("fingerprint ignores %s", name)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -42,11 +43,35 @@ type Options struct {
 	// carried in the NDJSON records. Zero keeps the legacy byte-identical
 	// output paths.
 	Chaos uint64
+
+	// Ctx, when non-nil, lets a caller cancel a running experiment: the
+	// worker pools drain (in-flight cells finish, nothing new starts) and
+	// the experiment's output must be discarded. A runtime knob, not part
+	// of the campaign fingerprint.
+	Ctx context.Context
+	// Journal, when non-nil, makes sweeps durable: completed cells are
+	// recorded in the campaign write-ahead log as they finish and replayed
+	// on a resumed run (see Campaign). A runtime knob, not part of the
+	// campaign fingerprint.
+	Journal core.CellJournal
 }
 
-// chaosOptions builds the resilient engine's options from the -chaos seed.
-func (o Options) chaosOptions() core.ChaosOptions {
-	return core.ChaosOptions{Plan: faults.DefaultPlan(o.Chaos)}
+// ctx resolves the cancellation context (nil means "never cancelled").
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// chaosOptions builds the resilient engine's options from the -chaos seed,
+// wiring in the campaign journal under the given experiment id.
+func (o Options) chaosOptions(experiment string) core.ChaosOptions {
+	return core.ChaosOptions{
+		Plan:       faults.DefaultPlan(o.Chaos),
+		Journal:    o.Journal,
+		Experiment: experiment,
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -200,16 +225,17 @@ func sysCfgs(mods ...modifier) func() []capture.Config {
 }
 
 // seriesSweep runs the standard §3.4 data-rate sweep over the configs —
-// through the resilient supervisor when -chaos is set, the plain parallel
-// engine otherwise (the legacy path stays byte-identical).
-func seriesSweep(cfgs func() []capture.Config) func(o Options) []core.Series {
+// through the resilient supervisor when -chaos is set, the durable
+// parallel engine otherwise (with a nil journal the legacy path stays
+// byte-identical). experiment namespaces the campaign journal keys.
+func seriesSweep(experiment string, cfgs func() []capture.Config) func(o Options) []core.Series {
 	return func(o Options) []core.Series {
 		o = o.withDefaults()
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
 		if o.Chaos != 0 {
-			return core.SweepRatesResilient(cfgs(), o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions())
+			return core.SweepRatesResilient(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions(experiment))
 		}
-		return core.SweepRatesParallel(cfgs(), o.Rates, w, o.Reps, o.Parallelism)
+		return core.SweepRatesDurable(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal)
 	}
 }
 
@@ -232,18 +258,25 @@ func tableRun(title string, series func(o Options) []core.Series) func(o Options
 }
 
 // runCellsMaybeChaos executes per-cell sweeps (buffer sweep, multi-app)
-// through the resilient engine when -chaos is set. key fingerprints the
-// measurement point of cell i for the fault model. The returned outcomes
-// are nil on the legacy path.
-func runCellsMaybeChaos(o Options, cells []core.Cell, key func(i int) uint64) ([]capture.Stats, []core.CellOutcome) {
-	if o.Chaos == 0 {
-		return core.RunCells(cells, o.Parallelism), nil
-	}
+// through the resilient engine when -chaos is set, and through the durable
+// engine otherwise. key fingerprints the measurement point of cell i for
+// the fault model and the campaign journal; experiment namespaces the
+// journal keys. The returned outcomes are nil on the plain path.
+func runCellsMaybeChaos(o Options, experiment string, cells []core.Cell, key func(i int) uint64) ([]capture.Stats, []core.CellOutcome) {
 	ids := make([]core.CellID, len(cells))
 	for i := range cells {
 		ids[i] = core.CellID{Point: key(i), Rep: 0}
 	}
-	outs := core.RunCellsResilient(cells, ids, o.Parallelism, o.chaosOptions())
+	if o.Chaos == 0 {
+		sts, errs := core.RunCellsDurable(o.ctx(), cells, ids, o.Parallelism, experiment, o.Journal)
+		for _, err := range errs {
+			if err != nil && !core.IsCancel(err) {
+				panic(err)
+			}
+		}
+		return sts, nil
+	}
+	outs := core.RunCellsResilient(o.ctx(), cells, ids, o.Parallelism, o.chaosOptions(experiment))
 	sts := make([]capture.Stats, len(cells))
 	for i := range outs {
 		sts[i] = outs[i].Stats
@@ -254,7 +287,7 @@ func runCellsMaybeChaos(o Options, cells []core.Cell, key func(i int) uint64) ([
 // sweepExpt builds a data-rate-sweep experiment with both the rendered
 // table (Run) and the structured series (Series) forms.
 func sweepExpt(id, paper, title, tableTitle string, cfgs func() []capture.Config) Experiment {
-	series := seriesSweep(cfgs)
+	series := seriesSweep(id, cfgs)
 	return Experiment{ID: id, Paper: paper, Title: title,
 		Run: tableRun(tableTitle, series), Series: series}
 }
@@ -305,13 +338,13 @@ func systems(mods ...modifier) []capture.Config {
 func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
 	series := func(o Options) []core.Series {
 		o = o.withDefaults()
-		kbs, cells, sts, outs := bufferSweepRun(o, cpuMod)
+		kbs, cells, sts, outs := bufferSweepRun(o, id, cpuMod)
 		nsys := len(systems(cpuMod))
 		return cellSeries(cells, sts, outs, func(i int) float64 { return float64(kbs[i/nsys]) })
 	}
 	run := func(o Options) string {
 		o = o.withDefaults()
-		kbs, cells, sts, outs := bufferSweepRun(o, cpuMod)
+		kbs, cells, sts, outs := bufferSweepRun(o, id, cpuMod)
 		nsys := len(systems(cpuMod))
 		var out strings.Builder
 		fmt.Fprintln(&out, "# capturing rate and CPU usage vs buffer size [kByte] at top rate")
@@ -334,7 +367,7 @@ func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
 	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats, outs []core.CellOutcome) {
+func bufferSweepRun(o Options, experiment string, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats, outs []core.CellOutcome) {
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
 	for kb := 128; kb <= 262144; kb *= 2 {
 		kbs = append(kbs, kb)
@@ -349,7 +382,7 @@ func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, s
 		}
 	}
 	nsys := len(systems(cpuMod))
-	sts, outs = runCellsMaybeChaos(o, cells, func(i int) uint64 { return uint64(kbs[i/nsys]) })
+	sts, outs = runCellsMaybeChaos(o, experiment, cells, func(i int) uint64 { return uint64(kbs[i/nsys]) })
 	return kbs, cells, sts, outs
 }
 
@@ -358,13 +391,13 @@ func bufferSweepRun(o Options, cpuMod modifier) (kbs []int, cells []core.Cell, s
 func multiAppExpt(id, paper, title string, n int) Experiment {
 	series := func(o Options) []core.Series {
 		o = o.withDefaults()
-		cells, sts, outs := multiAppRun(o, n)
+		cells, sts, outs := multiAppRun(o, id, n)
 		nsys := len(systems(bigBuffers, dual))
 		return cellSeries(cells, sts, outs, func(i int) float64 { return o.Rates[i/nsys] })
 	}
 	run := func(o Options) string {
 		o = o.withDefaults()
-		cells, sts, outs := multiAppRun(o, n)
+		cells, sts, outs := multiAppRun(o, id, n)
 		nsys := len(systems(bigBuffers, dual))
 		var out strings.Builder
 		fmt.Fprintf(&out, "# %d capturing applications: per-app worst/avg/best rate and CPU vs data rate\n", n)
@@ -388,7 +421,7 @@ func multiAppExpt(id, paper, title string, n int) Experiment {
 	return Experiment{ID: id, Paper: paper, Title: title, Run: run, Series: series}
 }
 
-func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats, []core.CellOutcome) {
+func multiAppRun(o Options, experiment string, n int) ([]core.Cell, []capture.Stats, []core.CellOutcome) {
 	var cells []core.Cell
 	for _, r := range o.Rates {
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
@@ -399,7 +432,7 @@ func multiAppRun(o Options, n int) ([]core.Cell, []capture.Stats, []core.CellOut
 		}
 	}
 	nsys := len(systems(bigBuffers, dual))
-	sts, outs := runCellsMaybeChaos(o, cells, func(i int) uint64 {
+	sts, outs := runCellsMaybeChaos(o, experiment, cells, func(i int) uint64 {
 		return uint64(o.Rates[i/nsys] * 1e3)
 	})
 	return cells, sts, outs

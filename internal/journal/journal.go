@@ -1,0 +1,332 @@
+// Package journal implements the durable campaign log behind
+// `experiment -journal`: an append-only, fsync'd, CRC-framed NDJSON
+// write-ahead log. Every completed measurement cell is appended as one
+// frame before its result is used, so a campaign interrupted by a signal
+// or a crash of the control host can be resumed from the journal and
+// still produce byte-identical output.
+//
+// # Frame format
+//
+// A journal is a sequence of newline-terminated frames:
+//
+//	cccccccc<SP><payload>\n
+//
+// where cccccccc is the IEEE CRC-32 of the payload as exactly eight
+// lowercase hex digits, <SP> is one ASCII space, and <payload> is one
+// JSON document with no raw newline (encoding/json never emits one).
+// The first frame is the header
+//
+//	{"magic":"repro-journal","v":1,"fingerprint":"<hex>"}
+//
+// whose fingerprint binds the journal to one campaign configuration; a
+// journal must never be replayed against a different one. Every frame
+// after the header is an opaque record payload owned by the caller.
+//
+// # Recovery
+//
+// Recovery scans frames from the start and stops at the first frame that
+// is torn (no trailing newline), misframed, or fails its CRC: the file is
+// truncated at the last good frame boundary and everything before it is
+// returned. A torn final record — the expected shape after a crash in
+// mid-append — therefore costs exactly the frames from the tear onward,
+// never the journal.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Magic identifies a journal header frame.
+const Magic = "repro-journal"
+
+// Version is the journal format version written into the header.
+const Version = 1
+
+// header is the first frame of every journal.
+type header struct {
+	Magic       string `json:"magic"`
+	V           int    `json:"v"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// MismatchError reports a journal whose header fingerprint does not match
+// the campaign configuration it is being replayed against. Resuming must
+// refuse: the recorded cells belong to a different experiment setup.
+type MismatchError struct {
+	Path string
+	Want string // fingerprint of the resuming configuration
+	Got  string // fingerprint recorded in the journal header
+}
+
+func (e *MismatchError) Error() string {
+	return fmt.Sprintf("journal: %s was recorded for a different configuration (journal fingerprint %.12s…, current %.12s…)",
+		e.Path, e.Got, e.Want)
+}
+
+// Recovery is the result of replaying an existing journal.
+type Recovery struct {
+	// Fingerprint is the campaign fingerprint from the journal header.
+	Fingerprint string
+	// Records holds the recovered record payloads (header excluded), in
+	// append order. Duplicate keys are the caller's concern: the WAL
+	// contract is last-write-wins.
+	Records [][]byte
+	// Torn reports that the tail of the file was truncated at a torn or
+	// corrupt frame; TornBytes is how many bytes were discarded.
+	Torn      bool
+	TornBytes int64
+}
+
+// Journal is an open, appendable campaign journal. Append is safe for
+// concurrent use: measurement workers record completed cells in parallel.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Create starts a fresh journal at path (truncating any previous one),
+// writes the fsync'd header frame, and returns the open journal.
+func Create(path, fingerprint string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.appendHeader(fingerprint); err != nil {
+		f.Close()
+		return nil, err
+	}
+	syncDir(filepath.Dir(path))
+	return j, nil
+}
+
+// Resume opens an existing journal for replay and further appends: the
+// recovered records are returned and the file is truncated at the last
+// good frame so new appends continue from a clean boundary. A journal
+// recorded under a different fingerprint is refused with *MismatchError.
+// An empty file (a crash before the header reached the disk) is a valid
+// empty journal: the header is rewritten and no records are returned.
+func Resume(path, fingerprint string) (*Journal, *Recovery, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	payloads, good := scanFrames(data)
+	rec := &Recovery{Torn: good < int64(len(data)), TornBytes: int64(len(data)) - good}
+	j := &Journal{f: f, path: path}
+
+	if len(payloads) == 0 {
+		// Nothing durable yet — start over as an empty journal.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if _, err := f.Seek(0, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := j.appendHeader(fingerprint); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		rec.Fingerprint = fingerprint
+		return j, rec, nil
+	}
+
+	var h header
+	if err := json.Unmarshal(payloads[0], &h); err != nil || h.Magic != Magic {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %s: first frame is not a journal header", path)
+	}
+	if h.V != Version {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: %s: unsupported journal version %d", path, h.V)
+	}
+	if h.Fingerprint != fingerprint {
+		f.Close()
+		return nil, nil, &MismatchError{Path: path, Want: fingerprint, Got: h.Fingerprint}
+	}
+	rec.Fingerprint = h.Fingerprint
+	rec.Records = payloads[1:]
+
+	if rec.Torn {
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, 0); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return j, rec, nil
+}
+
+// scanFrames parses frames from the start of data and stops at the first
+// torn, misframed or CRC-failing one. It returns the good payloads and
+// the byte offset just past the last good frame.
+func scanFrames(data []byte) (payloads [][]byte, good int64) {
+	off := 0
+	for off < len(data) {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := data[off : off+nl]
+		payload, ok := parseFrame(line)
+		if !ok {
+			break
+		}
+		payloads = append(payloads, payload)
+		off += nl + 1
+	}
+	return payloads, int64(off)
+}
+
+// parseFrame validates one frame line (without the newline) and returns
+// its payload.
+func parseFrame(line []byte) ([]byte, bool) {
+	if len(line) < 10 || line[8] != ' ' {
+		return nil, false
+	}
+	var want uint32
+	for _, c := range line[:8] {
+		var v uint32
+		switch {
+		case c >= '0' && c <= '9':
+			v = uint32(c - '0')
+		case c >= 'a' && c <= 'f':
+			v = uint32(c-'a') + 10
+		default:
+			return nil, false
+		}
+		want = want<<4 | v
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Append marshals v and durably appends it as one frame: the write is
+// fsync'd before Append returns, so a record handed to the journal
+// survives a crash of the process.
+func (j *Journal) Append(v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if bytes.IndexByte(payload, '\n') >= 0 {
+		return fmt.Errorf("journal: payload contains a raw newline")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(payload)
+}
+
+func (j *Journal) appendHeader(fingerprint string) error {
+	payload, err := json.Marshal(header{Magic: Magic, V: Version, Fingerprint: fingerprint})
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(payload)
+}
+
+func (j *Journal) appendLocked(payload []byte) error {
+	frame := make([]byte, 0, len(payload)+10)
+	frame = fmt.Appendf(frame, "%08x ", crc32.ChecksumIEEE(payload))
+	frame = append(frame, payload...)
+	frame = append(frame, '\n')
+	if _, err := j.f.Write(frame); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Close flushes and closes the journal file. Records are fsync'd on every
+// Append, so Close never loses data.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// Fingerprint hashes an arbitrary configuration value (via its JSON form)
+// plus any extra strings into a hex campaign fingerprint. The same inputs
+// always produce the same fingerprint, so it is safe to compare across
+// process restarts.
+func Fingerprint(v any, extra ...string) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(b)
+	for _, e := range extra {
+		h.Write([]byte{0})
+		h.Write([]byte(e))
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// WriteFileAtomic writes data to path via a temporary file in the same
+// directory, fsync, and rename — so a crash mid-write leaves either the
+// old file or the new one, never a truncated artifact (a half-written
+// .dat file is exactly what gnuplot chokes on).
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir makes a directory entry change (create, rename) durable.
+// Best-effort: some filesystems refuse to fsync directories.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

@@ -1,0 +1,230 @@
+package journal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type rec struct {
+	K string `json:"k"`
+	N int    `json:"n"`
+}
+
+func tmpJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "campaign.journal")
+}
+
+// TestCreateAppendResume is the basic WAL round trip: records written
+// before a "crash" come back, in order, from Resume.
+func TestCreateAppendResume(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := j.Append(rec{K: "cell", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	j2, rv, err := Resume(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if rv.Torn {
+		t.Fatalf("clean journal reported torn (%d bytes)", rv.TornBytes)
+	}
+	if len(rv.Records) != 5 {
+		t.Fatalf("recovered %d records, want 5", len(rv.Records))
+	}
+	for i, p := range rv.Records {
+		want := fmt.Sprintf(`{"k":"cell","n":%d}`, i)
+		if string(p) != want {
+			t.Fatalf("record %d = %s, want %s", i, p, want)
+		}
+	}
+	// Appends after a resume land after the recovered tail.
+	if err := j2.Append(rec{K: "cell", N: 5}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rv2, err := Resume(path, "fp1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv2.Records) != 6 {
+		t.Fatalf("after resumed append: %d records, want 6", len(rv2.Records))
+	}
+}
+
+// TestResumeTornTail: a partial final frame (the crash-in-mid-append
+// shape) is truncated; every complete frame before it survives, and the
+// journal keeps working from the truncation point.
+func TestResumeTornTail(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Create(path, "fp")
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec{K: "x", N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	// Tear the tail: chop into the last frame.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Torn || rv.TornBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", rv)
+	}
+	if len(rv.Records) != 2 {
+		t.Fatalf("recovered %d records after tear, want 2", len(rv.Records))
+	}
+	if err := j2.Append(rec{K: "x", N: 99}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rv3, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv3.Torn || len(rv3.Records) != 3 {
+		t.Fatalf("post-tear journal unhealthy: torn=%v records=%d", rv3.Torn, len(rv3.Records))
+	}
+}
+
+// TestResumeCorruptFrame: a bit flip inside a frame fails its CRC; the
+// journal is truncated at that frame (dropping it and everything after).
+func TestResumeCorruptFrame(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Create(path, "fp")
+	for i := 0; i < 4; i++ {
+		j.Append(rec{K: "x", N: i})
+	}
+	j.Close()
+	data, _ := os.ReadFile(path)
+	// Flip a payload byte in the third record frame (header + 2 full
+	// records stay intact).
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	lines[3][12] ^= 0x40
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if !rv.Torn {
+		t.Fatal("corrupt frame not reported as torn")
+	}
+	if len(rv.Records) != 2 {
+		t.Fatalf("recovered %d records, want 2 (everything from the corrupt frame on is dropped)", len(rv.Records))
+	}
+}
+
+// TestResumeFingerprintMismatch: a journal recorded under a different
+// configuration is refused with the typed error.
+func TestResumeFingerprintMismatch(t *testing.T) {
+	path := tmpJournal(t)
+	j, _ := Create(path, "fp-old")
+	j.Append(rec{K: "x", N: 1})
+	j.Close()
+	_, _, err := Resume(path, "fp-new")
+	var me *MismatchError
+	if !errors.As(err, &me) {
+		t.Fatalf("want *MismatchError, got %v", err)
+	}
+	if me.Want != "fp-new" || me.Got != "fp-old" {
+		t.Fatalf("mismatch error fields: %+v", me)
+	}
+}
+
+// TestResumeEmptyFile: an empty file (crash before the header was
+// durable) is a valid empty journal — the header is rewritten and appends
+// work.
+func TestResumeEmptyFile(t *testing.T) {
+	path := tmpJournal(t)
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv.Records) != 0 {
+		t.Fatalf("empty file yielded %d records", len(rv.Records))
+	}
+	if err := j.Append(rec{K: "x", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, rv2, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rv2.Records) != 1 {
+		t.Fatalf("records after append to recovered empty journal: %d", len(rv2.Records))
+	}
+}
+
+// TestResumeMissingFile: resuming a journal that was never created is an
+// error, not a silent fresh start.
+func TestResumeMissingFile(t *testing.T) {
+	if _, _, err := Resume(filepath.Join(t.TempDir(), "nope.journal"), "fp"); err == nil {
+		t.Fatal("resume of a missing journal succeeded")
+	}
+}
+
+// TestFingerprintStable: same value, same extras → same fingerprint;
+// different inputs diverge.
+func TestFingerprintStable(t *testing.T) {
+	a, err := Fingerprint(rec{K: "x", N: 1}, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Fingerprint(rec{K: "x", N: 1}, "v1")
+	if a != b {
+		t.Fatal("fingerprint not deterministic")
+	}
+	c, _ := Fingerprint(rec{K: "x", N: 2}, "v1")
+	d, _ := Fingerprint(rec{K: "x", N: 1}, "v2")
+	if a == c || a == d {
+		t.Fatal("fingerprint ignores inputs")
+	}
+}
+
+// TestWriteFileAtomic: the target appears with the full content and no
+// temp file survives.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "plot.dat")
+	if err := WriteFileAtomic(path, []byte("old"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("new content"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "new content" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("stray files left behind: %v", entries)
+	}
+}

@@ -11,6 +11,7 @@
 package testbed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -65,6 +66,11 @@ type ResilientMeasurement struct {
 	BackoffNS float64
 	// Log is the campaign's fault-and-decision history, oldest first.
 	Log []string
+	// Interrupted is set when the campaign was cut short by context
+	// cancellation: the repetitions measured so far are valid, the missing
+	// ones were never started (not quarantined), and the outlier rejection
+	// still ran over what was accepted.
+	Interrupted bool
 }
 
 func (s Supervisor) withDefaults() Supervisor {
@@ -109,8 +115,11 @@ func (s Supervisor) validate(res RunResult) error {
 // Run executes reps supervised measurement cycles. It always returns: a
 // repetition that cannot be measured is quarantined, a persistently silent
 // sniffer is declared dead and the campaign continues with the remaining
-// ones — graceful degradation instead of an aborted sweep.
-func (s Supervisor) Run(reps int) ResilientMeasurement {
+// ones — graceful degradation instead of an aborted sweep. Cancelling ctx
+// stops the campaign between cycles: completed repetitions are kept and
+// the result is marked Interrupted; unstarted repetitions are neither
+// measured nor quarantined.
+func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -131,8 +140,13 @@ func (s Supervisor) Run(reps int) ResilientMeasurement {
 	silent := make(map[string]int) // consecutive cycles without statistics
 
 	for rep := 0; rep < reps; rep++ {
+		if ctx.Err() != nil {
+			rm.Interrupted = true
+			logf("rep%d interrupted: %v", rep, ctx.Err())
+			break
+		}
 		accepted := false
-		for attempt := 0; attempt <= s.RetryBudget; attempt++ {
+		for attempt := 0; attempt <= s.RetryBudget && ctx.Err() == nil; attempt++ {
 			if attempt > 0 {
 				rm.BackoffNS += s.BackoffNS * float64(int(1)<<(attempt-1))
 			}
@@ -190,6 +204,13 @@ func (s Supervisor) Run(reps int) ResilientMeasurement {
 			break
 		}
 		if !accepted {
+			if ctx.Err() != nil {
+				// Interrupted mid-repetition: not a quarantine verdict — the
+				// retry budget was cut short, not exhausted.
+				rm.Interrupted = true
+				logf("rep%d interrupted: %v", rep, ctx.Err())
+				break
+			}
 			rm.Quarantined = append(rm.Quarantined, rep)
 			rm.Degraded = true
 			logf("rep%d quarantined after %d attempts", rep, s.RetryBudget+1)

@@ -1,6 +1,7 @@
 package testbed
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -88,7 +89,7 @@ func TestFaultVerifyErrorPaths(t *testing.T) {
 // quarantined or rejected, same runs as RunMeasurement.
 func TestChaosSupervisorCleanPlan(t *testing.T) {
 	tb := New(small())
-	rm := Supervisor{TB: tb}.Run(2)
+	rm := Supervisor{TB: tb}.Run(context.Background(), 2)
 	if len(rm.Runs) != 2 || rm.Attempts != 2 || rm.Degraded ||
 		len(rm.Quarantined) != 0 || len(rm.Rejected) != 0 || len(rm.Dead) != 0 {
 		t.Fatalf("clean supervision dirty: %+v", rm)
@@ -126,7 +127,7 @@ func TestChaosSupervisorRetriesTransientFaults(t *testing.T) {
 		t.Fatal("no seed with a clearing stale fault in 200 tries")
 	}
 	tb := New(w)
-	rm := Supervisor{TB: tb, Plan: plan}.Run(1)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(context.Background(), 1)
 	if len(rm.Runs) != 1 || len(rm.Quarantined) != 0 {
 		t.Fatalf("transient fault not recovered: %+v", rm.Log)
 	}
@@ -165,7 +166,7 @@ func TestChaosSupervisorDeadSnifferGraceful(t *testing.T) {
 		t.Fatal("no seed with exactly one dead sniffer in 500 tries")
 	}
 	tb := New(w)
-	rm := Supervisor{TB: tb, Plan: plan}.Run(3)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(context.Background(), 3)
 	if len(rm.Dead) != 1 || rm.Dead[0] != victim {
 		t.Fatalf("dead = %v, want [%s]\n%s", rm.Dead, victim, strings.Join(rm.Log, "\n"))
 	}
@@ -203,7 +204,7 @@ func TestChaosSupervisorDeadSnifferGraceful(t *testing.T) {
 func TestChaosSupervisorQuarantinesPersistentUnderrun(t *testing.T) {
 	tb := New(small())
 	plan := &faults.Plan{Seed: 5, PUnderrun: 1, UnderrunFrac: 0.7}
-	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 2}.Run(2)
+	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 2}.Run(context.Background(), 2)
 	if len(rm.Runs) != 0 || len(rm.Quarantined) != 2 {
 		t.Fatalf("persistent underrun not quarantined: %+v", rm.Quarantined)
 	}
@@ -225,7 +226,7 @@ func TestChaosSupervisorUsageTruncationRetries(t *testing.T) {
 	tb := New(small())
 	tb.ProfileInterval = 500 * sim.Millisecond
 	plan := &faults.Plan{Seed: 7, PTruncUsage: 1}
-	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 1}.Run(1)
+	rm := Supervisor{TB: tb, Plan: plan, RetryBudget: 1}.Run(context.Background(), 1)
 	if len(rm.Quarantined) != 1 {
 		t.Fatalf("always-truncated usage log not quarantined: %+v", rm.Log)
 	}
@@ -240,7 +241,7 @@ func TestChaosSupervisorUsageTruncationRetries(t *testing.T) {
 func TestChaosSupervisorLegLossAcceptedDegraded(t *testing.T) {
 	tb := New(small())
 	plan := &faults.Plan{Seed: 9, PLegLoss: 1, LegLossRatio: 0.05}
-	rm := Supervisor{TB: tb, Plan: plan}.Run(1)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(context.Background(), 1)
 	if len(rm.Runs) != 1 {
 		t.Fatalf("lossy-leg rep not accepted: %+v", rm.Log)
 	}
@@ -290,7 +291,7 @@ func TestChaosSupervisorMADRejectsOutlierRep(t *testing.T) {
 	}
 	tb := New(w)
 	tb.Sniffers = tb.Sniffers[:1] // swan only: the rep mean is swan's rate
-	rm := Supervisor{TB: tb, Plan: plan}.Run(4)
+	rm := Supervisor{TB: tb, Plan: plan}.Run(context.Background(), 4)
 	if len(rm.Rejected) != 1 || rm.Rejected[0] != badRep {
 		t.Fatalf("rejected = %v, want [%d]\n%s", rm.Rejected, badRep, strings.Join(rm.Log, "\n"))
 	}
@@ -325,5 +326,46 @@ func TestFaultMeasurementAggregationHandlesMissingSniffer(t *testing.T) {
 	rep := m.Report()
 	if strings.Count(rep, "swan") != 2 || strings.Count(rep, "moorhen") != 1 {
 		t.Fatalf("report rows wrong:\n%s", rep)
+	}
+}
+
+// countdownCtx is a deterministic mid-campaign interrupt: Err returns nil
+// for the first n calls, context.Canceled after.
+type countdownCtx struct {
+	context.Context
+	n int
+}
+
+func (c *countdownCtx) Err() error {
+	if c.n > 0 {
+		c.n--
+		return nil
+	}
+	return context.Canceled
+}
+
+// TestChaosSupervisorInterrupted: cancelling the context stops the
+// campaign between cycles — completed repetitions are kept, unstarted ones
+// are neither measured nor quarantined, and the result says Interrupted.
+func TestChaosSupervisorInterrupted(t *testing.T) {
+	done, cancel := context.WithCancel(context.Background())
+	cancel()
+	rm := Supervisor{TB: New(small())}.Run(done, 2)
+	if !rm.Interrupted || len(rm.Runs) != 0 || len(rm.Quarantined) != 0 {
+		t.Fatalf("pre-cancelled campaign: %+v", rm)
+	}
+
+	// Cancel after the first repetition: one valid run survives, the
+	// second is cut short without a quarantine verdict.
+	ctx := &countdownCtx{Context: context.Background(), n: 3}
+	rm = Supervisor{TB: New(small())}.Run(ctx, 2)
+	if !rm.Interrupted {
+		t.Fatalf("mid-campaign cancel not reported: %+v", rm)
+	}
+	if len(rm.Runs) != 1 || rm.Attempts != 1 {
+		t.Fatalf("completed repetition not kept: runs=%d attempts=%d", len(rm.Runs), rm.Attempts)
+	}
+	if len(rm.Quarantined) != 0 {
+		t.Fatalf("interrupt misreported as quarantine: %+v", rm.Quarantined)
 	}
 }

@@ -26,6 +26,8 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/bpf"
 	"repro/internal/capture"
 	"repro/internal/core"
@@ -94,7 +96,7 @@ func Sweep(cfgs []Config, ratesMbit []float64, w Workload, reps int) []Series {
 // the testbed), and the output is byte-identical to Sweep for any worker
 // count.
 func SweepParallel(cfgs []Config, ratesMbit []float64, w Workload, reps, workers int) []Series {
-	return core.SweepRatesParallel(cfgs, ratesMbit, w, reps, workers)
+	return core.SweepRatesParallel(context.Background(), cfgs, ratesMbit, w, reps, workers)
 }
 
 // FormatTable renders sweep results as the thesis-style table.
