@@ -18,15 +18,21 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/journal"
+	"repro/internal/monitor"
 )
 
 // Exit codes (documented in -h):
@@ -79,6 +85,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		chaos      = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
 		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
 		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
+		serveAddr  = fs.String("serve", "", "serve the live monitoring API (campaign listing, SSE event stream, Prometheus /metrics) on this address while the campaign runs; with no run mode it serves standalone over the -journal directory until interrupted")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "Usage of experiment:")
@@ -88,6 +95,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "  1  runtime failure (unknown experiment id, output write error)")
 		fmt.Fprintln(stderr, "  2  usage error (bad flags or arguments)")
 		fmt.Fprintln(stderr, "  3  interrupted by SIGINT/SIGTERM; the -journal campaign is usable with -resume")
+		fmt.Fprintln(stderr, "\nA -serve process keeps serving after the run completes and exits 3 on the first signal.")
 	}
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -119,6 +127,35 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	// -serve stands the monitoring service up before any measurement
+	// starts, so a dashboard connected from the first cell misses nothing.
+	// The hub doubles as the engines' Observer: with it attached the run
+	// publishes its live event feed, and the feed never changes a result
+	// (bounded rings drop on a stalled consumer; publishing never blocks).
+	var hub *monitor.Hub
+	var httpSrv *http.Server
+	if *serveAddr != "" {
+		hub = monitor.NewHub()
+		reg := monitor.NewRegistry()
+		reg.Attach(hub)
+		if *journalDir != "" {
+			// Read-only discovery: the journal is also browsable after the
+			// run (or from a standalone -serve with no run mode at all).
+			reg.AddJournalDir(campaignID(*journalDir), *journalDir)
+		}
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiment:", err)
+			return exitRuntime
+		}
+		httpSrv = &http.Server{Handler: monitor.NewServer(hub, reg).Handler()}
+		go httpSrv.Serve(ln)
+		defer closeServer(httpSrv)
+		fmt.Fprintf(stderr, "experiment: monitoring at http://%s\n", ln.Addr())
+		o.Observer = hub
+	}
+
+	mode := *list || *all || *id != ""
 	if *journalDir != "" && (*all || *id != "") {
 		c, err := openCampaign(stderr, *journalDir, *resume, o)
 		if err != nil {
@@ -126,10 +163,32 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			return exitRuntime
 		}
 		defer c.Close()
+		if hub != nil {
+			// Checkpoint events (one per durably recorded cell) join the feed.
+			c.Observer = hub
+		}
 		o.Journal = c
 	}
 
-	err := dispatch(ctx, out, o, *list, *all, *id, *jsonOut, *gpDir)
+	var err error
+	switch {
+	case mode:
+		if hub != nil && (*all || *id != "") {
+			// Campaign bracket events come from the CLI layer: the engines
+			// don't know where one driver invocation begins and ends.
+			fp, fpErr := experiments.Fingerprint(o)
+			if fpErr != nil {
+				fp = ""
+			}
+			hub.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: campaign(*journalDir), Detail: fp})
+		}
+		err = dispatch(ctx, out, o, *list, *all, *id, *jsonOut, *gpDir)
+		if hub != nil && (*all || *id != "") && err == nil && ctx.Err() == nil {
+			hub.Observe(core.Event{Kind: core.EventCampaignFinish, Campaign: campaign(*journalDir)})
+		}
+	case httpSrv == nil:
+		err = &usageError{}
+	}
 	if ctx.Err() != nil {
 		// The interrupt wins over any secondary error: pools have drained,
 		// the journal holds every completed cell, partial output was
@@ -141,18 +200,57 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		return exitInterrupted
 	}
-	if err == nil {
-		return exitOK
-	}
-	if ue, ok := err.(*usageError); ok {
-		if ue.msg != "" {
-			fmt.Fprintln(stderr, "experiment:", ue.msg)
+	if err != nil {
+		if ue, ok := err.(*usageError); ok {
+			if ue.msg != "" {
+				fmt.Fprintln(stderr, "experiment:", ue.msg)
+			}
+			fs.Usage()
+			return exitUsage
 		}
-		fs.Usage()
-		return exitUsage
+		fmt.Fprintln(stderr, "experiment:", err)
+		return exitRuntime
 	}
-	fmt.Fprintln(stderr, "experiment:", err)
-	return exitRuntime
+	if httpSrv != nil {
+		// Flush the tables now — the run is done, only the monitor keeps
+		// the process alive — then serve until the first signal (exit 3,
+		// like any other interrupted wait).
+		out.Flush()
+		if mode {
+			fmt.Fprintln(stderr, "experiment: run complete; still serving — interrupt (SIGINT/SIGTERM) to exit")
+		} else {
+			fmt.Fprintln(stderr, "experiment: serving standalone — interrupt (SIGINT/SIGTERM) to exit")
+		}
+		<-ctx.Done()
+		fmt.Fprintln(stderr, "experiment: interrupted")
+		return exitInterrupted
+	}
+	return exitOK
+}
+
+// campaign is the monitoring name of this driver invocation: the journal
+// directory's base name when one is recorded, "live" otherwise.
+func campaign(journalDir string) string {
+	if journalDir == "" {
+		return "live"
+	}
+	return campaignID(journalDir)
+}
+
+// campaignID names a journal directory's campaign after its base name.
+func campaignID(dir string) string {
+	return filepath.Base(filepath.Clean(dir))
+}
+
+// closeServer drains the monitoring listener: a short graceful window for
+// in-flight API requests, then a hard close for SSE streams, which only
+// end when their client hangs up.
+func closeServer(s *http.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if s.Shutdown(ctx) != nil {
+		s.Close()
+	}
 }
 
 // openCampaign creates or resumes the on-disk campaign journal and reports
@@ -204,18 +302,33 @@ func dispatch(ctx context.Context, out io.Writer, o experiments.Options, list, a
 
 // runOne executes one experiment in the requested output form. In -all
 // mode (skipMissing), experiments without a series form are skipped for
-// -json instead of failing. An experiment cut short by an interrupt emits
-// nothing: partial tables would differ from a clean run's, and the whole
-// point of the journal is that the re-run is byte-identical.
+// -json instead of failing. An interrupted experiment emits no table:
+// a partial table would differ from a clean run's, and the whole point
+// of the journal is that the re-run is byte-identical. (-json streams,
+// so an interrupt there simply stops the record stream mid-way.)
 func runOne(ctx context.Context, out io.Writer, e experiments.Experiment, o experiments.Options, jsonOut bool, gpDir string, skipMissing bool) error {
-	if jsonOut {
-		if e.Series == nil {
-			if skipMissing {
-				return nil
-			}
-			return fmt.Errorf("%s has no structured series form", e.ID)
+	if jsonOut && e.Series == nil {
+		if skipMissing {
+			return nil
 		}
-		return writeJSON(ctx, out, e, o)
+		return fmt.Errorf("%s has no structured series form", e.ID)
+	}
+	// Experiment bracket events come from here — the engines only know
+	// about cells and points, not experiment boundaries.
+	emit := func(kind core.EventKind) {
+		if o.Observer != nil {
+			o.Observer.Observe(core.Event{Kind: kind, Experiment: e.ID})
+		}
+	}
+	emit(core.EventExperimentStart)
+	if jsonOut {
+		if err := writeJSON(ctx, out, e, o); err != nil {
+			return err
+		}
+		if ctx.Err() == nil {
+			emit(core.EventExperimentFinish)
+		}
+		return nil
 	}
 	// Run before printing the header: an interrupted experiment must not
 	// leave a header with a truncated table behind.
@@ -223,22 +336,61 @@ func runOne(ctx context.Context, out io.Writer, e experiments.Experiment, o expe
 	if ctx.Err() != nil {
 		return nil
 	}
+	emit(core.EventExperimentFinish)
 	fmt.Fprintf(out, "==== %s (%s): %s ====\n", e.ID, e.Paper, e.Title)
 	fmt.Fprintln(out, text)
 	return writeGnuplot(gpDir, e, text)
 }
 
-// writeJSON emits the experiment's measurement points as NDJSON, one
-// record per (x, system) point.
+// writeJSON streams the experiment's measurement points as NDJSON, one
+// record per (x, system) point, encoded and flushed the moment the
+// engine finalizes the point. The rows ride the same EventPoint feed the
+// monitoring bus publishes, so they arrive in the canonical x-major
+// layout order — deterministic for any -parallel value, and identical to
+// what an SSE subscriber of the same run sees. (The retired buffered
+// writer emitted system-major rows; the record set is unchanged, only
+// the order moved.)
 func writeJSON(ctx context.Context, out io.Writer, e experiments.Experiment, o experiments.Options) error {
-	records := experiments.Records(e, o)
+	enc := json.NewEncoder(out)
+	var mu sync.Mutex
+	var streamed int
+	var werr error
+	o.Observer = core.MultiObserver(o.Observer, core.ObserverFunc(func(ev core.Event) {
+		if ev.Kind != core.EventPoint || ev.Experiment != e.ID || ev.Agg == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if werr != nil {
+			return
+		}
+		if werr = enc.Encode(experiments.PointRecord(e.ID, *ev.Agg)); werr != nil {
+			return
+		}
+		if f, ok := out.(interface{ Flush() error }); ok {
+			werr = f.Flush()
+		}
+		streamed++
+	}))
+	series := e.Series(o)
 	if ctx.Err() != nil {
 		return nil
 	}
-	enc := json.NewEncoder(out)
-	for _, r := range records {
-		if err := enc.Encode(r); err != nil {
-			return err
+	if werr != nil {
+		return werr
+	}
+	if streamed > 0 {
+		return nil
+	}
+	// Safety net for a Series path that bypasses the observed engines
+	// (none today): emit the buffered rows rather than nothing.
+	for _, s := range series {
+		for _, p := range s.Points {
+			r := experiments.PointRecord(e.ID, p)
+			r.System = s.System
+			if err := enc.Encode(r); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

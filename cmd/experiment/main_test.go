@@ -3,10 +3,16 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func runBG(args []string, out, errb *bytes.Buffer) int {
@@ -197,6 +203,205 @@ func TestRunJournalResumeByteIdentical(t *testing.T) {
 		if resumed.String() != clean.String() {
 			t.Fatalf("chaos=%s: resumed output not byte-identical to clean run", chaos)
 		}
+	}
+}
+
+// TestRunJSONDeterministicAcrossParallelism: the streaming -json writer
+// rides the head-of-line-sequenced EventPoint feed, so its NDJSON output
+// is byte-identical for any -parallel value — and arrives in the
+// canonical x-major order.
+func TestRunJSONDeterministicAcrossParallelism(t *testing.T) {
+	args := func(workers int) []string {
+		return []string{"-id", "fig6.2-smp", "-packets", "2000", "-reps", "2",
+			"-rates", "200,600,900", "-parallel", fmt.Sprint(workers), "-json"}
+	}
+	var serial, par, errb bytes.Buffer
+	if code := runBG(args(0), &serial, &errb); code != 0 {
+		t.Fatalf("serial exit %d: %s", code, errb.String())
+	}
+	if code := runBG(args(4), &par, &errb); code != 0 {
+		t.Fatalf("parallel exit %d: %s", code, errb.String())
+	}
+	if serial.String() != par.String() {
+		t.Fatalf("-json output differs across -parallel:\n--- serial\n%s\n--- parallel\n%s",
+			serial.String(), par.String())
+	}
+	// Every line is a record; the stream is x-major (all systems at
+	// x=200, then 600, then 900).
+	var xs []float64
+	for _, line := range strings.Split(strings.TrimSpace(serial.String()), "\n") {
+		var rec struct {
+			X float64 `json:"x"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		xs = append(xs, rec.X)
+	}
+	nsys := len(xs) / 3
+	if nsys == 0 || len(xs) != nsys*3 {
+		t.Fatalf("unexpected record count %d", len(xs))
+	}
+	for i, x := range xs {
+		want := []float64{200, 600, 900}[i/nsys]
+		if x != want {
+			t.Fatalf("record %d has x=%v, want %v: stream not x-major", i, x, want)
+		}
+	}
+}
+
+// syncBuffer is a Writer safe to read while another goroutine writes —
+// run() writes stderr from the serve goroutine while the test polls it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// serveURL extracts the monitoring base URL from run's stderr notice,
+// polling until the listener is up.
+func serveURL(t *testing.T, errb *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		s := errb.String()
+		if i := strings.Index(s, "monitoring at "); i >= 0 {
+			rest := s[i+len("monitoring at "):]
+			if j := strings.IndexByte(rest, '\n'); j >= 0 {
+				return strings.TrimSpace(rest[:j])
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no monitoring address on stderr:\n%s", errb.String())
+	return ""
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestRunServeLifecycle: -serve answers the API while and after a run,
+// keeps the process alive once the run completes, and exits 3 on the
+// first signal (context cancellation).
+func TestRunServeLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	var errb syncBuffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"-id", "fig6.2-smp", "-packets", "2000",
+			"-rates", "300", "-serve", "127.0.0.1:0"}, &out, &errb)
+	}()
+	base := serveURL(t, &errb)
+
+	if st, body := httpGet(t, base+"/healthz"); st != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", st, body)
+	}
+	// Wait for the run to finish; the process keeps serving.
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(errb.String(), "still serving") {
+		if time.Now().After(deadline) {
+			t.Fatalf("run did not reach the serving wait:\n%s", errb.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	_, body := httpGet(t, base+"/api/campaigns")
+	if !strings.Contains(body, `"id": "live"`) || !strings.Contains(body, `"finished": true`) ||
+		!strings.Contains(body, `"fingerprint"`) {
+		t.Fatalf("campaign listing after run:\n%s", body)
+	}
+	if _, m := httpGet(t, base+"/metrics"); !strings.Contains(m, "repro_points_completed_total") ||
+		strings.Contains(m, "repro_points_completed_total 0") {
+		t.Fatalf("metrics after run:\n%s", m)
+	}
+	if !strings.Contains(out.String(), "====") {
+		t.Fatalf("table not flushed before the serving wait:\n%s", out.String())
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != exitInterrupted {
+			t.Fatalf("serve exit = %d, want %d", c, exitInterrupted)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after cancellation")
+	}
+}
+
+// TestRunServeStandalone: -serve with no run mode serves a journal
+// directory read-only (no truncation of the campaign journal!) until
+// interrupted.
+func TestRunServeStandalone(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	var errb syncBuffer
+	args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-rates", "300", "-journal", dir}
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
+		t.Fatalf("recording run exit %d: %s", code, errb.String())
+	}
+	journalPath := filepath.Join(dir, "campaign.journal")
+	before, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var serveErr syncBuffer
+	code := make(chan int, 1)
+	go func() {
+		code <- run(ctx, []string{"-serve", "127.0.0.1:0", "-journal", dir}, io.Discard, &serveErr)
+	}()
+	base := serveURL(t, &serveErr)
+
+	id := filepath.Base(dir)
+	_, body := httpGet(t, base+"/api/campaigns")
+	if !strings.Contains(body, `"id": "`+id+`"`) || !strings.Contains(body, `"source": "journal"`) {
+		t.Fatalf("standalone campaign listing:\n%s", body)
+	}
+	if st, cells := httpGet(t, base+"/api/campaigns/"+id+"/cells"); st != 200 || !strings.Contains(cells, `"system"`) {
+		t.Fatalf("standalone cells = %d:\n%s", st, cells)
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != exitInterrupted {
+			t.Fatalf("standalone serve exit = %d, want %d", c, exitInterrupted)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("standalone serve did not exit after cancellation")
+	}
+	after, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("standalone -serve modified the campaign journal")
 	}
 }
 

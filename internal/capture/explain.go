@@ -75,7 +75,7 @@ func (s Stats) Explain() string {
 	} else {
 		fmt.Fprintf(&b, "drops by cause (%d pkts, %d bytes total):\n", pkts, bytes)
 		fmt.Fprintf(&b, "  %-12s %10s %12s %12s %12s\n", "cause", "packets", "bytes", "first-ms", "last-ms")
-		for c := Cause(0); c < NumCauses; c++ {
+		for _, c := range CausesByName() {
 			d := s.Ledger.Drops[c]
 			if d.Packets == 0 {
 				continue

@@ -3,6 +3,7 @@ package capture
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/sim"
@@ -97,6 +98,25 @@ func (c Cause) String() string {
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
 }
+
+// causesByName is the one canonical rendering order of the causes:
+// sorted by name, computed once. Declaration order is an implementation
+// detail (new causes are appended wherever the model grows them); every
+// place that renders a ledger — Stats.Explain, the -why table, the
+// NDJSON ledger object, the /metrics cause labels — iterates this slice
+// so the serialization order is deterministic and identical everywhere.
+var causesByName = func() []Cause {
+	cs := make([]Cause, NumCauses)
+	for c := Cause(0); c < NumCauses; c++ {
+		cs[c] = c
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i].String() < cs[j].String() })
+	return cs
+}()
+
+// CausesByName returns every cause in the canonical rendering order
+// (sorted by name). Callers must not mutate the returned slice.
+func CausesByName() []Cause { return causesByName }
 
 // Shared reports whether drops of this cause happen before the
 // per-application fan-out: a shared drop is recorded once but costs every
@@ -198,12 +218,12 @@ func (l Ledger) PerAppPackets() uint64 {
 }
 
 // MarshalJSON renders the ledger as an object keyed by cause name, causes
-// in declaration order, zero causes omitted.
+// in the canonical name-sorted order (CausesByName), zero causes omitted.
 func (l Ledger) MarshalJSON() ([]byte, error) {
 	var b strings.Builder
 	b.WriteByte('{')
 	first := true
-	for c := Cause(0); c < NumCauses; c++ {
+	for _, c := range CausesByName() {
 		d := l.Drops[c]
 		if d.Packets == 0 {
 			continue

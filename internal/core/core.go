@@ -316,7 +316,7 @@ func FormatWhy(series []Series) string {
 				out.WriteByte('-')
 			} else {
 				first := true
-				for c := capture.Cause(0); c < capture.NumCauses; c++ {
+				for _, c := range capture.CausesByName() {
 					d := p.Drops.Drops[c]
 					if d.Packets == 0 {
 						continue

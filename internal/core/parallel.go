@@ -139,20 +139,44 @@ func RunCellsErr(ctx context.Context, cells []Cell, workers int) ([]capture.Stat
 // failed journal append surfaces as the cell's error: durability failures
 // must not masquerade as measurements.
 func RunCellsDurable(ctx context.Context, cells []Cell, ids []CellID, workers int, experiment string, j CellJournal) ([]capture.Stats, []error) {
-	if j == nil {
+	return RunCellsObserved(ctx, cells, ids, workers, experiment, j, nil)
+}
+
+// RunCellsObserved is RunCellsDurable with a live event feed: every cell
+// that reaches its final outcome is published to obs as an EventCell —
+// replayed cells up front (in cell order, Replayed set), freshly measured
+// cells from the workers as they finish. A nil observer (and a nil
+// journal) degrades to the plain paths unchanged.
+func RunCellsObserved(ctx context.Context, cells []Cell, ids []CellID, workers int, experiment string, j CellJournal, obs Observer) ([]capture.Stats, []error) {
+	if j == nil && obs == nil {
 		return RunCellsErr(ctx, cells, workers)
 	}
 	if len(ids) != len(cells) {
 		panic(fmt.Sprintf("core: %d ids for %d cells", len(ids), len(cells)))
+	}
+	emit := func(i int, st capture.Stats, replayed bool) {
+		observe(obs, Event{
+			Kind:       EventCell,
+			Experiment: experiment,
+			System:     cells[i].Cfg.Name,
+			Point:      ids[i].Point,
+			X:          cells[i].W.TargetRate / 1e6,
+			Rep:        ids[i].Rep,
+			Replayed:   replayed,
+			Stats:      &st,
+		})
 	}
 	results := make([]capture.Stats, len(cells))
 	errs := make([]error, len(cells))
 	var torun []Cell
 	var idx []int
 	for i := range cells {
-		if out, ok := j.Lookup(cellKey(experiment, cells[i], ids[i])); ok && out.OK {
-			results[i] = out.Stats
-			continue
+		if j != nil {
+			if out, ok := j.Lookup(cellKey(experiment, cells[i], ids[i])); ok && out.OK {
+				results[i] = out.Stats
+				emit(i, out.Stats, true)
+				continue
+			}
 		}
 		torun = append(torun, cells[i])
 		idx = append(idx, i)
@@ -160,8 +184,14 @@ func RunCellsDurable(ctx context.Context, cells []Cell, ids []CellID, workers in
 	sub, subErrs := runCellsWith(ctx, torun, workers, NewFeedCache(DefaultFeedCacheSize),
 		func(bi int, st *capture.Stats) error {
 			i := idx[bi]
-			return j.Record(cellKey(experiment, cells[i], ids[i]),
-				CellOutcome{Stats: *st, OK: true, Attempts: 1})
+			if j != nil {
+				if err := j.Record(cellKey(experiment, cells[i], ids[i]),
+					CellOutcome{Stats: *st, OK: true, Attempts: 1}); err != nil {
+					return err
+				}
+			}
+			emit(i, *st, false)
+			return nil
 		})
 	for bi, i := range idx {
 		results[i], errs[i] = sub[bi], subErrs[bi]
@@ -300,11 +330,64 @@ func SweepRatesParallel(ctx context.Context, cfgs []capture.Config, ratesMbit []
 // byte-identical to an uninterrupted, unjournaled sweep — recorded Stats
 // round-trip exactly. A nil journal runs a plain sweep.
 func SweepRatesDurable(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, experiment string, j CellJournal) []Series {
+	return SweepRatesObserved(ctx, cfgs, ratesMbit, w, reps, workers, experiment, j, nil)
+}
+
+// sweepPointObserver wraps obs for the standard sweep layout: cell events
+// are forwarded as-is, and when a (system, rate) point's repetitions are
+// all in, the aggregated Point is published as an EventPoint — in the
+// canonical x-major layout order (every system of rate[0], then rate[1],
+// …) regardless of worker scheduling, via head-of-line sequencing.
+func sweepPointObserver(obs Observer, experiment string, cfgs []capture.Config, ratesMbit []float64, reps int, cells []Cell, ids []CellID) Observer {
+	ncfg := len(cfgs)
+	idxOf := make(map[CellKey]int, len(cells))
+	for i := range cells {
+		idxOf[cellKey(experiment, cells[i], ids[i])] = i
+	}
+	colStats := make([]capture.Stats, len(cells))
+	seq := newPointSequencer(len(ratesMbit)*ncfg, reps, func(p int) {
+		ri, ci := p/ncfg, p%ncfg
+		runs := make([]capture.Stats, reps)
+		for rep := 0; rep < reps; rep++ {
+			runs[rep] = colStats[(ri*reps+rep)*ncfg+ci]
+		}
+		pt := aggregatePoint(cfgs[ci].Name, runs)
+		pt.X = ratesMbit[ri]
+		obs.Observe(Event{
+			Kind: EventPoint, Experiment: experiment, System: cfgs[ci].Name,
+			Point: pointKey(ratesMbit[ri]), X: ratesMbit[ri], Agg: &pt,
+		})
+	})
+	return ObserverFunc(func(ev Event) {
+		obs.Observe(ev)
+		if ev.Kind != EventCell && ev.Kind != EventQuarantine {
+			return
+		}
+		i, ok := idxOf[CellKey{Experiment: ev.Experiment, Point: ev.Point, System: ev.System, Rep: ev.Rep}]
+		if !ok {
+			return
+		}
+		if ev.Stats != nil {
+			colStats[i] = *ev.Stats
+		}
+		seq.done((i/(reps*ncfg))*ncfg + i%ncfg)
+	})
+}
+
+// SweepRatesObserved is SweepRatesDurable with the live event feed: cell
+// completions stream to obs as they happen, and completed points are
+// published deterministically in plotting layout order (see
+// sweepPointObserver). A nil observer keeps the plain durable path.
+func SweepRatesObserved(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, experiment string, j CellJournal, obs Observer) []Series {
 	if reps <= 0 {
 		reps = 1
 	}
 	cells, ids := sweepCells(cfgs, ratesMbit, w, reps)
-	stats, errs := RunCellsDurable(ctx, cells, ids, workers, experiment, j)
+	cellObs := obs
+	if obs != nil {
+		cellObs = sweepPointObserver(obs, experiment, cfgs, ratesMbit, reps, cells, ids)
+	}
+	stats, errs := RunCellsObserved(ctx, cells, ids, workers, experiment, j, cellObs)
 	for _, err := range errs {
 		if err != nil && !IsCancel(err) {
 			panic(err)

@@ -57,6 +57,12 @@ type ChaosOptions struct {
 	// Experiment namespaces the journal keys of this run (the experiment
 	// id); only meaningful with a non-nil Journal.
 	Experiment string
+	// Observer, when non-nil, receives the supervision's live events:
+	// EventRetry per failed attempt, EventSnifferDead when the fault model
+	// kills a sniffer for an attempt, EventCell when a cell's outcome is
+	// accepted, EventQuarantine when the retry budget is exhausted. A
+	// runtime hook — it never changes an outcome.
+	Observer Observer
 }
 
 func (o ChaosOptions) withDefaults() ChaosOptions {
@@ -145,11 +151,35 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 		}
 	}
 
+	// emit publishes one supervision event for cell i; final kinds carry
+	// private copies of the cell's outcome and statistics.
+	emit := func(kind EventKind, i, attempt int, detail string, replayed bool) {
+		if co.Observer == nil {
+			return
+		}
+		ev := Event{
+			Kind: kind, Experiment: co.Experiment, System: cells[i].Cfg.Name,
+			Point: ids[i].Point, X: cells[i].W.TargetRate / 1e6, Rep: ids[i].Rep,
+			Attempt: attempt, Replayed: replayed, Detail: detail,
+		}
+		if kind == EventCell || kind == EventQuarantine {
+			out := outs[i]
+			st := out.Stats
+			ev.Outcome, ev.Stats = &out, &st
+		}
+		co.Observer.Observe(ev)
+	}
+
 	pending := make([]int, 0, len(cells))
 	for i := range cells {
 		if co.Journal != nil {
 			if out, ok := co.Journal.Lookup(cellKey(co.Experiment, cells[i], ids[i])); ok && (out.OK || out.Quarantined) {
 				outs[i] = out
+				if out.OK {
+					emit(EventCell, i, 0, "", true)
+				} else {
+					emit(EventQuarantine, i, 0, "replayed quarantine verdict", true)
+				}
 				continue
 			}
 		}
@@ -190,10 +220,13 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 				switch {
 				case sf.Dead:
 					logf(i, "rep%d.%d %s:sniffer-dead", id.Rep, attempt, c.Cfg.Name)
+					emit(EventSnifferDead, i, attempt, "sniffer dead for this attempt", false)
 				case sf.Hang:
 					logf(i, "rep%d.%d %s:sniffer-hang", id.Rep, attempt, c.Cfg.Name)
+					emit(EventRetry, i, attempt, "sniffer hang: no statistics", false)
 				default:
 					logf(i, "rep%d.%d %s:sniffer-crash", id.Rep, attempt, c.Cfg.Name)
+					emit(EventRetry, i, attempt, "sniffer crash: no statistics", false)
 				}
 				continue
 			}
@@ -270,6 +303,7 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 				}
 				if errs[bi] != nil {
 					logf(i, "rep%d.%d %s:retry: %v", ids[i].Rep, attempt, cells[i].Cfg.Name, errs[bi])
+					emit(EventRetry, i, attempt, errs[bi].Error(), false)
 					// Keep the last failed attempt's partial data so a
 					// quarantined cell is inspectable; book a generator
 					// shortfall so even the partial stats balance.
@@ -285,6 +319,7 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 				outs[i].Degraded = inj[bi].lossy != nil && inj[bi].lossy.Lost > 0
 				// The outcome is final — make it durable before it is used.
 				record(i)
+				emit(EventCell, i, attempt, "", false)
 			}
 		}
 
@@ -304,6 +339,7 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 		for _, i := range pending {
 			outs[i].Quarantined = true
 			record(i)
+			emit(EventQuarantine, i, co.RetryBudget, "retry budget exhausted", false)
 		}
 	}
 	return outs
@@ -317,6 +353,45 @@ func RunCellsResilient(ctx context.Context, cells []Cell, ids []CellID, workers 
 // incomplete and must be discarded — callers check ctx.Err()). With a nil
 // plan the numeric output matches SweepRatesParallel exactly (the chaos
 // counters then just record one clean attempt per repetition).
+// resilientPointObserver is sweepPointObserver's sibling for the
+// supervised sweep: it collects final cell outcomes and emits each
+// (system, rate) point — resolved exactly like the returned series,
+// outlier rejection included — in canonical layout order.
+func resilientPointObserver(co ChaosOptions, cfgs []capture.Config, ratesMbit []float64, reps int, cells []Cell, ids []CellID) Observer {
+	obs := co.Observer
+	ncfg := len(cfgs)
+	idxOf := make(map[CellKey]int, len(cells))
+	for i := range cells {
+		idxOf[cellKey(co.Experiment, cells[i], ids[i])] = i
+	}
+	colOuts := make([]CellOutcome, len(cells))
+	seq := newPointSequencer(len(ratesMbit)*ncfg, reps, func(p int) {
+		ri, ci := p/ncfg, p%ncfg
+		column := make([]CellOutcome, reps)
+		for rep := 0; rep < reps; rep++ {
+			column[rep] = colOuts[(ri*reps+rep)*ncfg+ci]
+		}
+		pt := resolvePoint(cfgs[ci].Name, column, co)
+		pt.X = ratesMbit[ri]
+		obs.Observe(Event{
+			Kind: EventPoint, Experiment: co.Experiment, System: cfgs[ci].Name,
+			Point: pointKey(ratesMbit[ri]), X: ratesMbit[ri], Agg: &pt,
+		})
+	})
+	return ObserverFunc(func(ev Event) {
+		obs.Observe(ev)
+		if (ev.Kind != EventCell && ev.Kind != EventQuarantine) || ev.Outcome == nil {
+			return
+		}
+		i, ok := idxOf[CellKey{Experiment: ev.Experiment, Point: ev.Point, System: ev.System, Rep: ev.Rep}]
+		if !ok {
+			return
+		}
+		colOuts[i] = *ev.Outcome
+		seq.done((i/(reps*ncfg))*ncfg + i%ncfg)
+	})
+}
+
 func SweepRatesResilient(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, co ChaosOptions) []Series {
 	if reps <= 0 {
 		reps = 1
@@ -325,6 +400,9 @@ func SweepRatesResilient(ctx context.Context, cfgs []capture.Config, ratesMbit [
 	// Identical cell layout to SweepRatesParallel: column-major, so the
 	// systems of one (rate, rep) column share one recorded feed.
 	cells, ids := sweepCells(cfgs, ratesMbit, w, reps)
+	if co.Observer != nil {
+		co.Observer = resilientPointObserver(co, cfgs, ratesMbit, reps, cells, ids)
+	}
 	outs := RunCellsResilient(ctx, cells, ids, workers, co)
 
 	out := make([]Series, len(cfgs))

@@ -78,6 +78,11 @@ type Campaign struct {
 	mu sync.Mutex
 	m  map[core.CellKey]core.CellOutcome
 
+	// Observer, when set, receives an EventCheckpoint after every durably
+	// recorded cell (the monitoring service surfaces these as journal
+	// progress). Assign it before the campaign starts running.
+	Observer core.Observer
+
 	// Resume diagnostics, for the CLI's status line: the number of cell
 	// records recovered from the journal, and whether a torn tail frame was
 	// truncated (TornBytes dropped).
@@ -152,7 +157,25 @@ func (c *Campaign) Record(k core.CellKey, out core.CellOutcome) error {
 		return err
 	}
 	c.m[k] = out
+	if c.Observer != nil {
+		c.Observer.Observe(core.Event{
+			Kind: core.EventCheckpoint, Experiment: k.Experiment,
+			System: k.System, Point: k.Point, Rep: k.Rep,
+			Detail: fmt.Sprintf("cell %d durable", len(c.m)),
+		})
+	}
 	return nil
+}
+
+// DecodeCellRecord decodes one campaign-journal frame payload into the
+// durable cell key and final outcome. The monitoring service uses it to
+// serve cells out of a journal it follows read-only.
+func DecodeCellRecord(payload []byte) (core.CellKey, core.CellOutcome, error) {
+	var cr cellRecord
+	if err := json.Unmarshal(payload, &cr); err != nil {
+		return core.CellKey{}, core.CellOutcome{}, err
+	}
+	return cr.Key, cr.Out, nil
 }
 
 // Len reports the number of distinct cells currently recorded.

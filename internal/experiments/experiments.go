@@ -54,6 +54,12 @@ type Options struct {
 	// on a resumed run (see Campaign). A runtime knob, not part of the
 	// campaign fingerprint.
 	Journal core.CellJournal
+	// Observer, when non-nil, receives the engines' live event feed (cell
+	// completions, deterministic point aggregates, retry/quarantine
+	// decisions) — the monitoring service and the streaming -json writer
+	// attach here. A runtime knob, not part of the campaign fingerprint;
+	// observation never changes a result.
+	Observer core.Observer
 }
 
 // ctx resolves the cancellation context (nil means "never cancelled").
@@ -71,6 +77,7 @@ func (o Options) chaosOptions(experiment string) core.ChaosOptions {
 		Plan:       faults.DefaultPlan(o.Chaos),
 		Journal:    o.Journal,
 		Experiment: experiment,
+		Observer:   o.Observer,
 	}
 }
 
@@ -235,7 +242,7 @@ func seriesSweep(experiment string, cfgs func() []capture.Config) func(o Options
 		if o.Chaos != 0 {
 			return core.SweepRatesResilient(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions(experiment))
 		}
-		return core.SweepRatesDurable(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal)
+		return core.SweepRatesObserved(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal, o.Observer)
 	}
 }
 
@@ -257,18 +264,68 @@ func tableRun(title string, series func(o Options) []core.Series) func(o Options
 	}
 }
 
+// observeCellPoints wraps obs so a per-cell sweep (buffer sweep,
+// multi-app: one cell per plotted point) publishes one EventPoint per
+// finalized cell, decorated exactly like cellSeries decorates the series
+// form. Emission is head-of-line sequenced in cell layout order, so the
+// point stream is deterministic for any worker count.
+func observeCellPoints(obs core.Observer, experiment string, cells []core.Cell, ids []core.CellID, xOf func(i int) float64) core.Observer {
+	if obs == nil {
+		return nil
+	}
+	idxOf := make(map[core.CellKey]int, len(cells))
+	for i := range cells {
+		idxOf[core.CellKey{Experiment: experiment, Point: ids[i].Point,
+			System: cells[i].Cfg.Name, Rep: ids[i].Rep}] = i
+	}
+	var mu sync.Mutex
+	pending := make([]*core.Event, len(cells))
+	next := 0
+	return core.ObserverFunc(func(ev core.Event) {
+		obs.Observe(ev)
+		if (ev.Kind != core.EventCell && ev.Kind != core.EventQuarantine) || ev.Stats == nil {
+			return
+		}
+		i, ok := idxOf[core.CellKey{Experiment: ev.Experiment, Point: ev.Point,
+			System: ev.System, Rep: ev.Rep}]
+		if !ok {
+			return
+		}
+		pt := core.AggregatePoint(ev.System, xOf(i), []capture.Stats{*ev.Stats})
+		if out := ev.Outcome; out != nil {
+			pt.Attempts = out.Attempts
+			if out.Quarantined {
+				pt.Quarantined = 1
+			}
+			pt.Degraded = out.Degraded || out.Quarantined
+			pt.FaultLog = strings.Join(out.Log, "; ")
+		}
+		pe := core.Event{Kind: core.EventPoint, Experiment: ev.Experiment,
+			System: ev.System, Point: ev.Point, X: pt.X, Agg: &pt}
+		mu.Lock()
+		defer mu.Unlock()
+		pending[i] = &pe
+		for next < len(pending) && pending[next] != nil {
+			obs.Observe(*pending[next])
+			next++
+		}
+	})
+}
+
 // runCellsMaybeChaos executes per-cell sweeps (buffer sweep, multi-app)
 // through the resilient engine when -chaos is set, and through the durable
 // engine otherwise. key fingerprints the measurement point of cell i for
-// the fault model and the campaign journal; experiment namespaces the
-// journal keys. The returned outcomes are nil on the plain path.
-func runCellsMaybeChaos(o Options, experiment string, cells []core.Cell, key func(i int) uint64) ([]capture.Stats, []core.CellOutcome) {
+// the fault model and the campaign journal; xOf is the plotted x of cell i
+// (for the observer's point events); experiment namespaces the journal
+// keys. The returned outcomes are nil on the plain path.
+func runCellsMaybeChaos(o Options, experiment string, cells []core.Cell, key func(i int) uint64, xOf func(i int) float64) ([]capture.Stats, []core.CellOutcome) {
 	ids := make([]core.CellID, len(cells))
 	for i := range cells {
 		ids[i] = core.CellID{Point: key(i), Rep: 0}
 	}
+	obs := observeCellPoints(o.Observer, experiment, cells, ids, xOf)
 	if o.Chaos == 0 {
-		sts, errs := core.RunCellsDurable(o.ctx(), cells, ids, o.Parallelism, experiment, o.Journal)
+		sts, errs := core.RunCellsObserved(o.ctx(), cells, ids, o.Parallelism, experiment, o.Journal, obs)
 		for _, err := range errs {
 			if err != nil && !core.IsCancel(err) {
 				panic(err)
@@ -276,7 +333,9 @@ func runCellsMaybeChaos(o Options, experiment string, cells []core.Cell, key fun
 		}
 		return sts, nil
 	}
-	outs := core.RunCellsResilient(o.ctx(), cells, ids, o.Parallelism, o.chaosOptions(experiment))
+	co := o.chaosOptions(experiment)
+	co.Observer = obs
+	outs := core.RunCellsResilient(o.ctx(), cells, ids, o.Parallelism, co)
 	sts := make([]capture.Stats, len(cells))
 	for i := range outs {
 		sts[i] = outs[i].Stats
@@ -382,7 +441,9 @@ func bufferSweepRun(o Options, experiment string, cpuMod modifier) (kbs []int, c
 		}
 	}
 	nsys := len(systems(cpuMod))
-	sts, outs = runCellsMaybeChaos(o, experiment, cells, func(i int) uint64 { return uint64(kbs[i/nsys]) })
+	sts, outs = runCellsMaybeChaos(o, experiment, cells,
+		func(i int) uint64 { return uint64(kbs[i/nsys]) },
+		func(i int) float64 { return float64(kbs[i/nsys]) })
 	return kbs, cells, sts, outs
 }
 
@@ -432,9 +493,9 @@ func multiAppRun(o Options, experiment string, n int) ([]core.Cell, []capture.St
 		}
 	}
 	nsys := len(systems(bigBuffers, dual))
-	sts, outs := runCellsMaybeChaos(o, experiment, cells, func(i int) uint64 {
-		return uint64(o.Rates[i/nsys] * 1e3)
-	})
+	sts, outs := runCellsMaybeChaos(o, experiment, cells,
+		func(i int) uint64 { return uint64(o.Rates[i/nsys] * 1e3) },
+		func(i int) float64 { return o.Rates[i/nsys] })
 	return cells, sts, outs
 }
 

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"repro/internal/capture"
+	"repro/internal/core"
 )
 
 // Record is one machine-readable measurement point, the unit of the
@@ -33,6 +34,32 @@ type Record struct {
 	Faults      string `json:"faults,omitempty"`
 }
 
+// PointRecord converts one aggregated measurement point into the NDJSON
+// record shape. The buffered Records path and the streaming -json writer
+// (driven by EventPoint observer events) both build their rows here, so
+// the two emit byte-identical records.
+func PointRecord(experiment string, p core.Point) Record {
+	total, _ := p.Drops.Total()
+	return Record{
+		Experiment:  experiment,
+		System:      p.System,
+		X:           p.X,
+		RatePct:     p.Rate,
+		RateMinPct:  p.RateMin,
+		RateMaxPct:  p.RateMax,
+		CPUPct:      p.CPU,
+		Generated:   p.Generated,
+		Dropped:     total,
+		Drops:       p.Drops,
+		Truncated:   p.Truncated,
+		Attempts:    p.Attempts,
+		Quarantined: p.Quarantined,
+		Rejected:    p.Rejected,
+		Degraded:    p.Degraded,
+		Faults:      p.FaultLog,
+	}
+}
+
 // Records flattens an experiment's series into JSON-ready rows. It returns
 // nil for experiments without a structured series form (distribution
 // plots, histograms); `experiment -json` skips those.
@@ -43,25 +70,9 @@ func Records(e Experiment, o Options) []Record {
 	var recs []Record
 	for _, s := range e.Series(o) {
 		for _, p := range s.Points {
-			total, _ := p.Drops.Total()
-			recs = append(recs, Record{
-				Experiment:  e.ID,
-				System:      s.System,
-				X:           p.X,
-				RatePct:     p.Rate,
-				RateMinPct:  p.RateMin,
-				RateMaxPct:  p.RateMax,
-				CPUPct:      p.CPU,
-				Generated:   p.Generated,
-				Dropped:     total,
-				Drops:       p.Drops,
-				Truncated:   p.Truncated,
-				Attempts:    p.Attempts,
-				Quarantined: p.Quarantined,
-				Rejected:    p.Rejected,
-				Degraded:    p.Degraded,
-				Faults:      p.FaultLog,
-			})
+			r := PointRecord(e.ID, p)
+			r.System = s.System
+			recs = append(recs, r)
 		}
 	}
 	return recs

@@ -50,11 +50,24 @@ const Magic = "repro-journal"
 // Version is the journal format version written into the header.
 const Version = 1
 
-// header is the first frame of every journal.
-type header struct {
+// Header is the first frame of every journal.
+type Header struct {
 	Magic       string `json:"magic"`
 	V           int    `json:"v"`
 	Fingerprint string `json:"fingerprint"`
+}
+
+// ParseHeader decodes a journal header frame payload and validates its
+// magic and version.
+func ParseHeader(payload []byte) (Header, error) {
+	var h Header
+	if err := json.Unmarshal(payload, &h); err != nil || h.Magic != Magic {
+		return Header{}, fmt.Errorf("journal: frame is not a journal header")
+	}
+	if h.V != Version {
+		return Header{}, fmt.Errorf("journal: unsupported journal version %d", h.V)
+	}
+	return h, nil
 }
 
 // MismatchError reports a journal whose header fingerprint does not match
@@ -147,14 +160,10 @@ func Resume(path, fingerprint string) (*Journal, *Recovery, error) {
 		return j, rec, nil
 	}
 
-	var h header
-	if err := json.Unmarshal(payloads[0], &h); err != nil || h.Magic != Magic {
+	h, err := ParseHeader(payloads[0])
+	if err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("journal: %s: first frame is not a journal header", path)
-	}
-	if h.V != Version {
-		f.Close()
-		return nil, nil, fmt.Errorf("journal: %s: unsupported journal version %d", path, h.V)
+		return nil, nil, fmt.Errorf("journal: %s: %w", path, err)
 	}
 	if h.Fingerprint != fingerprint {
 		f.Close()
@@ -240,7 +249,7 @@ func (j *Journal) Append(v any) error {
 }
 
 func (j *Journal) appendHeader(fingerprint string) error {
-	payload, err := json.Marshal(header{Magic: Magic, V: Version, Fingerprint: fingerprint})
+	payload, err := json.Marshal(Header{Magic: Magic, V: Version, Fingerprint: fingerprint})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,212 @@
+// Package monitor is the live campaign monitoring service: an event bus
+// fanning the measurement engines' Observer feed out to HTTP consumers,
+// a JSON API over the campaign registry, an SSE stream, and a
+// Prometheus-format metrics endpoint — `experiment -serve ADDR`.
+//
+// The cardinal rule is that watching a campaign must never slow it
+// down: the Hub's Observe path assigns a sequence number, updates the
+// in-process state synchronously, and hands the event to bounded
+// per-subscriber rings. A subscriber that stalls (a slow SSE client, a
+// dead TCP peer) loses events — drop-oldest, counted per subscriber —
+// while the measurement path and every other subscriber proceed at full
+// speed. Publishing never blocks, ever.
+package monitor
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultSubscriberBuffer is the per-subscriber ring capacity when the
+// caller passes none.
+const DefaultSubscriberBuffer = 1024
+
+// Hub is the event bus: a core.Observer that stamps events with a
+// global sequence number and fans them out. Safe for concurrent use.
+type Hub struct {
+	mu        sync.Mutex
+	seq       uint64
+	published uint64
+	subs      map[*Subscriber]struct{}
+	appliers  []func(ev core.Event)
+	// dropsGone accumulates the drop counters of departed subscribers,
+	// by label, so /metrics keeps the full history.
+	dropsGone map[string]uint64
+}
+
+// NewHub returns an empty bus.
+func NewHub() *Hub {
+	return &Hub{
+		subs:      make(map[*Subscriber]struct{}),
+		dropsGone: make(map[string]uint64),
+	}
+}
+
+var _ core.Observer = (*Hub)(nil)
+
+// Apply registers a synchronous state applier: fn runs under the hub
+// lock for every published event, before any subscriber sees it. The
+// registry and the metrics counters attach here, which is what makes an
+// SSE snapshot-then-follow exact: state and sequence number can never
+// disagree. fn must be fast and must not call back into the Hub.
+func (h *Hub) Apply(fn func(ev core.Event)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.appliers = append(h.appliers, fn)
+}
+
+// Observe publishes one event: assigns the next sequence number, runs
+// the appliers, then offers the event to every subscriber ring. Never
+// blocks.
+func (h *Hub) Observe(ev core.Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.seq++
+	ev.Seq = h.seq
+	h.published++
+	for _, fn := range h.appliers {
+		fn(ev)
+	}
+	for s := range h.subs {
+		s.push(ev)
+	}
+}
+
+// Subscribe adds a subscriber with the given ring capacity (0 =
+// DefaultSubscriberBuffer). label names the subscriber in the hub's
+// drop ledger (/metrics).
+func (h *Hub) Subscribe(label string, buffer int) *Subscriber {
+	s := newSubscriber(label, buffer)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// SubscribeWith atomically snapshots hub state and subscribes: snap
+// runs under the hub lock with the current sequence number, and the
+// returned subscriber receives exactly the events published after it.
+// The SSE handler replays the snapshot, then follows the subscriber —
+// no gap, no overlap.
+func (h *Hub) SubscribeWith(label string, buffer int, snap func(lastSeq uint64)) *Subscriber {
+	s := newSubscriber(label, buffer)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if snap != nil {
+		snap(h.seq)
+	}
+	h.subs[s] = struct{}{}
+	return s
+}
+
+// Unsubscribe removes the subscriber and folds its drop counter into
+// the hub's departed-subscriber ledger.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.subs[s]; !ok {
+		return
+	}
+	delete(h.subs, s)
+	h.dropsGone[s.label] += s.Dropped()
+}
+
+// Published returns the number of events published so far.
+func (h *Hub) Published() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.published
+}
+
+// Subscribers returns the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs)
+}
+
+// Drops returns the events-dropped ledger: cumulative dropped events
+// per subscriber label, departed subscribers included.
+func (h *Hub) Drops() map[string]uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]uint64, len(h.dropsGone)+len(h.subs))
+	for label, n := range h.dropsGone {
+		out[label] = n
+	}
+	for s := range h.subs {
+		out[s.label] += s.Dropped()
+	}
+	return out
+}
+
+// Subscriber is one bounded, drop-oldest event ring. The consumer
+// drains it with Events after a Notify wake-up; the producer side (the
+// hub) never blocks on it.
+type Subscriber struct {
+	label  string
+	mu     sync.Mutex
+	ring   []core.Event
+	head   int // index of the oldest buffered event
+	n      int // buffered count
+	drops  uint64
+	notify chan struct{}
+}
+
+func newSubscriber(label string, buffer int) *Subscriber {
+	if buffer <= 0 {
+		buffer = DefaultSubscriberBuffer
+	}
+	return &Subscriber{
+		label:  label,
+		ring:   make([]core.Event, buffer),
+		notify: make(chan struct{}, 1),
+	}
+}
+
+// push offers one event; a full ring drops its oldest event and counts
+// it. Never blocks.
+func (s *Subscriber) push(ev core.Event) {
+	s.mu.Lock()
+	if s.n == len(s.ring) {
+		s.head = (s.head + 1) % len(s.ring)
+		s.n--
+		s.drops++
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = ev
+	s.n++
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Events drains and returns the buffered events, oldest first (nil when
+// empty).
+func (s *Subscriber) Events() []core.Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]core.Event, s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	s.head, s.n = 0, 0
+	return out
+}
+
+// Notify returns the wake-up channel: one token is pending whenever
+// events arrived since the last drain.
+func (s *Subscriber) Notify() <-chan struct{} { return s.notify }
+
+// Dropped returns the number of events this subscriber lost to its
+// bounded ring.
+func (s *Subscriber) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops
+}

@@ -1,0 +1,59 @@
+// Prometheus metrics, hand-rolled in the text exposition format — the
+// repo deliberately carries no dependencies, and the format is three
+// lines per metric.
+package monitor
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"sort"
+
+	"repro/internal/capture"
+)
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c := s.reg.Counters()
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("repro_cells_completed_total", "Measurement cells finished (replayed cells included).", c.Cells)
+	counter("repro_cells_replayed_total", "Cells served from the campaign journal instead of running.", c.Replayed)
+	counter("repro_cells_retried_total", "Cell attempts that failed validation and were retried.", c.Retries)
+	counter("repro_cells_quarantined_total", "Cells that exhausted their retry budget.", c.Quarantined)
+	counter("repro_points_completed_total", "Aggregated measurement points emitted.", c.Points)
+	counter("repro_sniffer_dead_total", "Sniffers declared dead by the supervision layer.", c.SnifferDead)
+	counter("repro_journal_checkpoints_total", "Cells made durable in the campaign journal.", c.Checkpoints)
+
+	fmt.Fprintf(w, "# HELP repro_drop_packets_total Packets dropped, by drop cause, summed over completed cells.\n")
+	fmt.Fprintf(w, "# TYPE repro_drop_packets_total counter\n")
+	for _, cause := range capture.CausesByName() {
+		fmt.Fprintf(w, "repro_drop_packets_total{cause=%q} %d\n", cause.String(), c.DropsByCause[cause])
+	}
+
+	counter("repro_bus_events_published_total", "Events published on the monitoring bus.", s.hub.Published())
+	gauge("repro_bus_subscribers", "Current bus subscribers.", uint64(s.hub.Subscribers()))
+
+	fmt.Fprintf(w, "# HELP repro_bus_events_dropped_total Events dropped at a stalled subscriber's bounded ring.\n")
+	fmt.Fprintf(w, "# TYPE repro_bus_events_dropped_total counter\n")
+	drops := s.hub.Drops()
+	labels := make([]string, 0, len(drops))
+	for l := range drops {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(w, "repro_bus_events_dropped_total{subscriber=%q} %d\n", l, drops[l])
+	}
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("repro_goroutines", "Current goroutine count.", uint64(runtime.NumGoroutine()))
+	gauge("repro_heap_alloc_bytes", "Bytes of allocated heap objects.", ms.HeapAlloc)
+}

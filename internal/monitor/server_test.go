@@ -1,0 +1,298 @@
+package monitor
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/capture"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// newTestService wires hub + registry + HTTP server for a test, with a
+// fast journal-tail poll.
+func newTestService(t *testing.T) (*Hub, *Registry, *httptest.Server) {
+	t.Helper()
+	h := NewHub()
+	reg := NewRegistry()
+	reg.Attach(h)
+	s := NewServer(h, reg)
+	s.JournalPoll = 10 * time.Millisecond
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return h, reg, srv
+}
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// publishCampaign pushes a small synthetic campaign through the bus.
+func publishCampaign(h *Hub, id string, cells int) {
+	h.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: id, Detail: "fp-test"})
+	h.Observe(core.Event{Kind: core.EventExperimentStart, Experiment: "fig6.2-smp"})
+	for i := 0; i < cells; i++ {
+		st := capture.Stats{Generated: 100, AppCaptured: []uint64{90}}
+		st.Ledger.RecordN(capture.CauseNICRing, 10, 6400, 0)
+		h.Observe(core.Event{Kind: core.EventCell, Experiment: "fig6.2-smp",
+			System: "swan", Point: uint64(i), X: float64(50 * (i + 1)),
+			Stats: &st})
+	}
+	h.Observe(core.Event{Kind: core.EventExperimentFinish, Experiment: "fig6.2-smp"})
+	h.Observe(core.Event{Kind: core.EventCampaignFinish, Campaign: id})
+}
+
+func TestHealthz(t *testing.T) {
+	_, _, srv := newTestService(t)
+	code, body := getBody(t, srv.URL+"/healthz")
+	if code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestCampaignsAndCells(t *testing.T) {
+	h, _, srv := newTestService(t)
+	publishCampaign(h, "camp1", 7)
+
+	code, body := getBody(t, srv.URL+"/api/campaigns")
+	if code != 200 {
+		t.Fatalf("campaigns = %d", code)
+	}
+	var infos []CampaignInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != "camp1" || infos[0].Fingerprint != "fp-test" ||
+		!infos[0].Finished || infos[0].Cells != 7 {
+		t.Fatalf("campaigns = %+v", infos)
+	}
+	if len(infos[0].Experiments) != 1 || infos[0].Experiments[0] != "fig6.2-smp" {
+		t.Fatalf("experiments = %v", infos[0].Experiments)
+	}
+
+	// Paged cells.
+	code, body = getBody(t, srv.URL+"/api/campaigns/camp1/cells?offset=5&limit=10")
+	if code != 200 {
+		t.Fatalf("cells = %d", code)
+	}
+	var page cellsResponse
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 7 || page.Offset != 5 || len(page.Cells) != 2 {
+		t.Fatalf("page = total %d offset %d len %d", page.Total, page.Offset, len(page.Cells))
+	}
+	v := page.Cells[0]
+	if v.System != "swan" || v.RatePct != 90 || v.Dropped != 10 {
+		t.Fatalf("cell = %+v", v)
+	}
+	// The ledger renders causes by name (deterministic order).
+	if !strings.Contains(body, `"nic-ring"`) {
+		t.Fatalf("cell drops missing nic-ring cause:\n%s", body)
+	}
+
+	if code, _ := getBody(t, srv.URL+"/api/campaigns/nope/cells"); code != 404 {
+		t.Fatalf("unknown campaign = %d, want 404", code)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	h, _, srv := newTestService(t)
+	publishCampaign(h, "camp1", 3)
+	// A stalled subscriber accumulates drops that /metrics must expose.
+	stalled := h.Subscribe("stalled", 2)
+	defer h.Unsubscribe(stalled)
+	for i := 0; i < 10; i++ {
+		h.Observe(core.Event{Kind: core.EventRetry, Rep: i})
+	}
+
+	code, body := getBody(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"repro_cells_completed_total 3",
+		"repro_cells_retried_total 10",
+		`repro_drop_packets_total{cause="nic-ring"} 30`,
+		`repro_drop_packets_total{cause="bpf-buffer"} 0`,
+		`repro_bus_events_dropped_total{subscriber="stalled"} 8`,
+		"repro_bus_subscribers 1",
+		"repro_goroutines",
+		"repro_heap_alloc_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	kind string
+	data wireEvent
+}
+
+// readSSE parses count events from an SSE stream.
+func readSSE(t *testing.T, r io.Reader, count int) []sseEvent {
+	t.Helper()
+	sc := bufio.NewScanner(r)
+	var out []sseEvent
+	var cur sseEvent
+	for len(out) < count && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.data); err != nil {
+				t.Fatalf("bad SSE data %q: %v", line, err)
+			}
+			out = append(out, cur)
+			cur = sseEvent{}
+		}
+	}
+	if len(out) < count {
+		t.Fatalf("SSE stream ended after %d events, want %d (err=%v)", len(out), count, sc.Err())
+	}
+	return out
+}
+
+// TestStreamLiveReplayThenFollow: an SSE client connecting mid-campaign
+// replays history and follows live, seeing every event exactly once in
+// seq order.
+func TestStreamLiveReplayThenFollow(t *testing.T) {
+	h, _, srv := newTestService(t)
+	h.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: "camp1", Detail: "fp"})
+	for i := 0; i < 5; i++ {
+		h.Observe(core.Event{Kind: core.EventCell, System: "swan", Rep: i})
+	}
+
+	resp, err := http.Get(srv.URL + "/api/campaigns/camp1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type = %q", ct)
+	}
+
+	// Replayed history: campaign-start + 5 cells.
+	evs := readSSE(t, resp.Body, 6)
+
+	// Publish more while the client is connected.
+	go func() {
+		for i := 5; i < 10; i++ {
+			h.Observe(core.Event{Kind: core.EventCell, System: "swan", Rep: i})
+		}
+		h.Observe(core.Event{Kind: core.EventCampaignFinish, Campaign: "camp1"})
+	}()
+	evs = append(evs, readSSE(t, resp.Body, 6)...)
+
+	if evs[0].kind != "campaign-start" || evs[0].data.Detail != "fp" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if last := evs[len(evs)-1]; last.kind != "campaign-finish" {
+		t.Fatalf("last event = %+v", last)
+	}
+	var lastSeq uint64
+	rep := 0
+	for _, ev := range evs {
+		if ev.data.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing at %+v (prev %d): duplicate or reorder", ev, lastSeq)
+		}
+		lastSeq = ev.data.Seq
+		if ev.kind == "cell" {
+			if ev.data.Rep != rep {
+				t.Fatalf("cell rep = %d, want %d (exactly-once violated)", ev.data.Rep, rep)
+			}
+			rep++
+		}
+	}
+	if rep != 10 {
+		t.Fatalf("saw %d cells, want 10", rep)
+	}
+}
+
+// TestStreamJournalBacked: a campaign known only as a journal directory
+// is streamed by tailing its WAL — replay what is durable, then follow
+// the writer.
+func TestStreamJournalBacked(t *testing.T) {
+	_, reg, srv := newTestService(t)
+	dir := t.TempDir()
+	o := experiments.Options{Packets: 1000, Reps: 1, Seed: 1}
+	camp, err := experiments.CreateCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer camp.Close()
+	rec := func(i int) {
+		st := capture.Stats{Generated: 50, AppCaptured: []uint64{50}}
+		if err := camp.Record(core.CellKey{Experiment: "fig6.2-smp", Point: uint64(i), System: "swan"},
+			core.CellOutcome{Stats: st, OK: true, Attempts: 1}); err != nil {
+			t.Error(err)
+		}
+	}
+	rec(0)
+	rec(1)
+	reg.AddJournalDir("mcamp", dir)
+
+	resp, err := http.Get(srv.URL + "/api/campaigns/mcamp/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	evs := readSSE(t, resp.Body, 3) // header + 2 durable cells
+	if evs[0].kind != "campaign-start" || evs[0].data.Detail == "" {
+		t.Fatalf("first journal event = %+v", evs[0])
+	}
+	if evs[1].kind != "cell" || evs[1].data.System != "swan" || evs[1].data.RatePct != 100 {
+		t.Fatalf("replayed cell = %+v", evs[1])
+	}
+
+	// Append while the stream is live: the tail is followed.
+	rec(2)
+	more := readSSE(t, resp.Body, 1)
+	if more[0].kind != "cell" || more[0].data.Point != 2 {
+		t.Fatalf("followed cell = %+v", more[0])
+	}
+
+	// The same journal also answers the paged cells API.
+	code, body := getBody(t, srv.URL+"/api/campaigns/mcamp/cells")
+	if code != 200 {
+		t.Fatalf("cells = %d", code)
+	}
+	var page cellsResponse
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 3 {
+		t.Fatalf("journal cells total = %d, want 3", page.Total)
+	}
+	// And the campaign listing discovers it with its fingerprint.
+	_, body = getBody(t, srv.URL+"/api/campaigns")
+	var infos []CampaignInfo
+	if err := json.Unmarshal([]byte(body), &infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].ID != "mcamp" || infos[0].Source != "journal" ||
+		infos[0].Fingerprint == "" || infos[0].Cells != 3 {
+		t.Fatalf("discovered campaigns = %+v", infos)
+	}
+}

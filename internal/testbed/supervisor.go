@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/stats"
 )
@@ -41,6 +42,13 @@ type Supervisor struct {
 	// silent before the supervisor declares it dead and continues with the
 	// remaining sniffers (default 3).
 	DeadAfter int
+	// Observer, when set, receives the supervisor's decisions live: an
+	// EventRetry per failed cycle attempt, an EventSnifferDead when a
+	// persistently silent sniffer is struck from the expected set, an
+	// EventCell per accepted repetition (one per reporting sniffer, Stats
+	// attached), and an EventQuarantine when a repetition exhausts its
+	// retry budget. Observation never changes the campaign's outcome.
+	Observer core.Observer
 }
 
 // ResilientMeasurement is a supervised measurement campaign: the accepted
@@ -128,6 +136,11 @@ func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 	logf := func(format string, args ...any) {
 		rm.Log = append(rm.Log, fmt.Sprintf(format, args...))
 	}
+	emit := func(ev core.Event) {
+		if s.Observer != nil {
+			s.Observer.Observe(ev)
+		}
+	}
 
 	names := make([]string, len(s.TB.Sniffers))
 	for i, cfg := range s.TB.Sniffers {
@@ -179,6 +192,11 @@ func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 					rm.Degraded = true
 					logf("rep%d.%d %s: declared dead after %d silent cycles; continuing with %d sniffers",
 						rep, attempt, n, s.DeadAfter, len(names)-len(rm.Dead))
+					emit(core.Event{
+						Kind: core.EventSnifferDead, System: n, Point: point,
+						Rep: rep, Attempt: attempt,
+						Detail: fmt.Sprintf("declared dead after %d silent cycles", s.DeadAfter),
+					})
 				}
 			}
 			res.Expected = res.Expected[:0]
@@ -190,6 +208,10 @@ func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 
 			if err := s.validate(res); err != nil {
 				logf("rep%d.%d retry: %v", rep, attempt, err)
+				emit(core.Event{
+					Kind: core.EventRetry, Point: point,
+					Rep: rep, Attempt: attempt, Detail: err.Error(),
+				})
 				continue
 			}
 			for _, sr := range res.Sniffers {
@@ -198,6 +220,13 @@ func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 					logf("rep%d.%d %s: accepted degraded (lossy splitter leg, loss booked)",
 						rep, attempt, sr.Name)
 				}
+			}
+			for _, sr := range res.Sniffers {
+				st := sr.Stats
+				emit(core.Event{
+					Kind: core.EventCell, System: sr.Name, Point: point,
+					Rep: rep, Attempt: attempt, Stats: &st,
+				})
 			}
 			rm.Runs = append(rm.Runs, res)
 			accepted = true
@@ -214,6 +243,11 @@ func (s Supervisor) Run(ctx context.Context, reps int) ResilientMeasurement {
 			rm.Quarantined = append(rm.Quarantined, rep)
 			rm.Degraded = true
 			logf("rep%d quarantined after %d attempts", rep, s.RetryBudget+1)
+			emit(core.Event{
+				Kind: core.EventQuarantine, Point: point,
+				Rep: rep, Attempt: s.RetryBudget,
+				Detail: "retry budget exhausted",
+			})
 		}
 	}
 
