@@ -1,0 +1,163 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/sim
+BenchmarkEventQueue 	     200	      1382 ns/op	       9 B/op	       0 allocs/op
+BenchmarkEventQueue-8 	     200	      1290 ns/op	       9 B/op	       0 allocs/op
+BenchmarkSchedule  	  200000	       134.8 ns/op	      98 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/sim	0.5s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	samples := map[string][]metrics{}
+	parseBenchOutput(sampleOutput, samples)
+	if got := len(samples["EventQueue"]); got != 2 {
+		t.Fatalf("EventQueue samples = %d, want 2 (suffixed and unsuffixed names merge)", got)
+	}
+	if got := samples["Schedule"][0]; got.NsPerOp != 134.8 || got.BytesPerOp != 98 || got.AllocsPerOp != 0 {
+		t.Fatalf("Schedule metrics = %+v", got)
+	}
+}
+
+func TestAggregateMinKeepsFastestRun(t *testing.T) {
+	samples := map[string][]metrics{}
+	parseBenchOutput(sampleOutput, samples)
+	agg := aggregateMin(samples)
+	if agg["EventQueue"].NsPerOp != 1290 {
+		t.Fatalf("EventQueue min ns/op = %v, want 1290", agg["EventQueue"].NsPerOp)
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSweepSerial":    "SweepSerial",
+		"BenchmarkSweepSerial-16": "SweepSerial",
+		"BenchmarkRunDense-8":     "RunDense",
+	} {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func snapWith(ns map[string]float64) snapshot {
+	benches := map[string]metrics{}
+	for name, v := range ns {
+		benches[name] = metrics{NsPerOp: v}
+	}
+	return snapshot{Schema: "benchsnap/v1", Benchmarks: benches}
+}
+
+func TestCompareSnapshotsFlagsRegressions(t *testing.T) {
+	oldSnap := snapWith(map[string]float64{"EventQueue": 1000, "SweepSerial": 100, "Cancel": 10})
+	newSnap := snapWith(map[string]float64{"EventQueue": 1200, "SweepSerial": 105, "Cancel": 9})
+	var buf bytes.Buffer
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, true, &buf)
+	if len(regs) != 1 || regs[0] != "EventQueue" {
+		t.Fatalf("regressions = %v, want [EventQueue] (+20%% > 10%%; +5%% and -10%% pass)", regs)
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("delta table missing REGRESSION marker:\n%s", buf.String())
+	}
+}
+
+func TestCompareSnapshotsMissingTier1IsRegression(t *testing.T) {
+	oldSnap := snapWith(map[string]float64{"RunDense": 30})
+	newSnap := snapWith(map[string]float64{})
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, true, &bytes.Buffer{})
+	if len(regs) != 1 || !strings.Contains(regs[0], "RunDense") {
+		t.Fatalf("regressions = %v, want RunDense flagged as missing", regs)
+	}
+}
+
+// TestCompareCrossEnvGatesOnAllocs pins the cross-machine behaviour: when
+// the baseline snapshot comes from different hardware, ns/op deltas are
+// advisory and the gate enforces allocs/op instead.
+func TestCompareCrossEnvGatesOnAllocs(t *testing.T) {
+	oldSnap := snapshot{Benchmarks: map[string]metrics{
+		"SweepSerial": {NsPerOp: 100, AllocsPerOp: 50},
+		"RunDense":    {NsPerOp: 30, AllocsPerOp: 0},
+	}}
+	// 3x slower wall clock (different machine) but identical allocs: pass.
+	newSnap := snapshot{Benchmarks: map[string]metrics{
+		"SweepSerial": {NsPerOp: 300, AllocsPerOp: 50},
+		"RunDense":    {NsPerOp: 90, AllocsPerOp: 0},
+	}}
+	if regs := compareSnapshots(oldSnap, newSnap, 0.10, false, &bytes.Buffer{}); len(regs) != 0 {
+		t.Fatalf("cross-env with stable allocs flagged %v, want none", regs)
+	}
+	// An allocs/op regression, or a zero-alloc benchmark starting to
+	// allocate, must fail even cross-env.
+	newSnap.Benchmarks["SweepSerial"] = metrics{NsPerOp: 90, AllocsPerOp: 60}
+	newSnap.Benchmarks["RunDense"] = metrics{NsPerOp: 20, AllocsPerOp: 1}
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, false, &bytes.Buffer{})
+	if len(regs) != 2 {
+		t.Fatalf("cross-env alloc regressions = %v, want both flagged", regs)
+	}
+}
+
+func TestCompareCommandAcceptOverride(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_0001.json")
+	newPath := filepath.Join(dir, "candidate.json")
+	if err := writeSnapshot(oldPath, snapWith(map[string]float64{"RunDense": 30})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(newPath, snapWith(map[string]float64{"RunDense": 60})); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-old", oldPath, "-new", newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("compare exit = %d, want 1 on a 2x regression\n%s%s", code, out.String(), errOut.String())
+	}
+
+	t.Setenv("BENCHGATE_ACCEPT", "intentional trade-off for test")
+	out.Reset()
+	if code := run([]string{"compare", "-old", oldPath, "-new", newPath}, &out, &errOut); code != 0 {
+		t.Fatalf("compare exit = %d with BENCHGATE_ACCEPT set, want 0", code)
+	}
+	if !strings.Contains(out.String(), "ACCEPTED") {
+		t.Fatalf("override run did not report acceptance:\n%s", out.String())
+	}
+}
+
+func TestSnapshotRoundTripAndLatest(t *testing.T) {
+	dir := t.TempDir()
+	for _, id := range []string{"BENCH_0002", "BENCH_0010", "BENCH_0006"} {
+		snap := snapWith(map[string]float64{"Cancel": 5})
+		snap.ID = id
+		if err := writeSnapshot(filepath.Join(dir, id+".json"), snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := latestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_0010.json" {
+		t.Fatalf("latest = %s, want BENCH_0010.json", got)
+	}
+	snap, err := loadSnapshot(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.ID != "BENCH_0010" || snap.Benchmarks["Cancel"].NsPerOp != 5 {
+		t.Fatalf("round-tripped snapshot = %+v", snap)
+	}
+}
+
+func TestLatestNoSnapshots(t *testing.T) {
+	if _, err := latestSnapshot(t.TempDir()); err == nil {
+		t.Fatal("latestSnapshot on empty dir should error")
+	}
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -23,6 +24,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -86,6 +89,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
 		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
 		serveAddr  = fs.String("serve", "", "serve the live monitoring API (campaign listing, SSE event stream, Prometheus /metrics) on this address while the campaign runs; with no run mode it serves standalone over the -journal directory until interrupted")
+		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file (written atomically: temp file + rename)")
+		memprofile = fs.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file on exit, written atomically")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "Usage of experiment:")
@@ -106,6 +111,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// design matter.
 	out := bufio.NewWriter(stdout)
 	defer out.Flush()
+
+	// Profiling brackets everything below, including error paths: the
+	// deferred stop/write runs on every exit, and both artifacts appear
+	// atomically (like the -gp outputs) so a watcher never sees a torn file.
+	if *cpuprofile != "" {
+		stopProf, err := startCPUProfile(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiment:", err)
+			return exitRuntime
+		}
+		defer stopProf()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			if err := writeHeapProfile(path); err != nil {
+				fmt.Fprintln(stderr, "experiment:", err)
+			}
+		}()
+	}
 
 	o := experiments.Options{
 		Packets: *packets, Reps: *reps, Seed: *seed,
@@ -455,4 +480,43 @@ plot \
 %s
 `, e.Title, e.ID+".png", strings.Join(plots, ", \\\n"))
 	return journal.WriteFileAtomic(filepath.Join(dir, e.ID+".gp"), []byte(script), 0o644)
+}
+
+// startCPUProfile begins a CPU profile that streams into a temp file next to
+// path; the returned stop function finishes the profile and renames it into
+// place, so path only ever holds a complete profile.
+func startCPUProfile(path string) (stop func(), err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".cpuprofile-*")
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		name := f.Name()
+		if err := f.Close(); err == nil {
+			err = os.Rename(name, path)
+			if err == nil {
+				return
+			}
+		}
+		os.Remove(name)
+	}, nil
+}
+
+// writeHeapProfile records the live heap after a final GC (so the profile
+// shows what the run retains, not garbage awaiting collection) and writes it
+// atomically.
+func writeHeapProfile(path string) error {
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.WriteHeapProfile(&buf); err != nil {
+		return err
+	}
+	return journal.WriteFileAtomic(path, buf.Bytes(), 0o644)
 }

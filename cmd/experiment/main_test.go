@@ -431,3 +431,33 @@ func TestRunGnuplotAtomic(t *testing.T) {
 		}
 	}
 }
+
+// TestRunProfilingFlags pins the -cpuprofile/-memprofile contract: both
+// artifacts exist after the run, are non-empty, parse as gzipped pprof
+// protos, and no temp file is left behind (the write is temp + rename).
+func TestRunProfilingFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var out, errb bytes.Buffer
+	args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-cpuprofile", cpu, "-memprofile", mem}
+	if code := runBG(args, &out, &errb); code != exitOK {
+		t.Fatalf("run(%v) = %d, want 0\nstderr: %s", args, code, errb.String())
+	}
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s: not a gzipped pprof profile (got % x...)", path, data[:min(4, len(data))])
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Errorf("profile dir has %d entries, want 2 (no temp files left behind): %v", len(entries), entries)
+	}
+}

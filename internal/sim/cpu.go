@@ -99,6 +99,42 @@ func NewMachine(s *Sim, n int, hyperthreading bool) *Machine {
 	return m
 }
 
+// taskq is a head-indexed FIFO of tasks. Pops advance the head instead of
+// shifting the slice, and a front push reuses the popped gap, so the
+// per-dispatch memmove and the per-preemption prepend allocation of a plain
+// slice queue disappear. Popped slots keep stale pointers until overwritten
+// or the queue drains; the buffer is as small as the deepest backlog, so
+// the pinned tail is negligible.
+type taskq struct {
+	buf  []*Task
+	head int
+}
+
+func (q *taskq) len() int { return len(q.buf) - q.head }
+
+func (q *taskq) pushBack(t *Task) { q.buf = append(q.buf, t) }
+
+func (q *taskq) pushFront(t *Task) {
+	if q.head > 0 {
+		q.head--
+		q.buf[q.head] = t
+		return
+	}
+	q.buf = append(q.buf, nil)
+	copy(q.buf[1:], q.buf)
+	q.buf[0] = t
+}
+
+func (q *taskq) popFront() *Task {
+	t := q.buf[q.head]
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return t
+}
+
 // CPU is a single (possibly logical) processor with strict-priority,
 // preemptive FIFO scheduling and busy-time accounting per priority class.
 type CPU struct {
@@ -106,7 +142,7 @@ type CPU struct {
 	ID      int
 	Core    int
 
-	queues  [NumPrio][]*Task
+	queues  [NumPrio]taskq
 	current *Task
 
 	busy [NumPrio]Time // completed busy time per class
@@ -117,7 +153,7 @@ func (c *CPU) Submit(t *Task) {
 	if t.OnDone == nil {
 		panic("sim: task without OnDone")
 	}
-	c.queues[t.Prio] = append(c.queues[t.Prio], t)
+	c.queues[t.Prio].pushBack(t)
 	if c.current == nil {
 		c.dispatch()
 		return
@@ -137,7 +173,7 @@ func (c *CPU) SubmitFront(t *Task) {
 	if t.OnDone == nil {
 		panic("sim: task without OnDone")
 	}
-	c.queues[t.Prio] = append([]*Task{t}, c.queues[t.Prio]...)
+	c.queues[t.Prio].pushFront(t)
 	if c.current == nil {
 		c.dispatch()
 		return
@@ -170,8 +206,7 @@ func (c *CPU) preempt() {
 	c.current = nil
 	// Requeue at the front: a preempted task resumes before tasks that
 	// arrived while it was running.
-	q := c.queues[cur.Prio]
-	c.queues[cur.Prio] = append([]*Task{cur}, q...)
+	c.queues[cur.Prio].pushFront(cur)
 }
 
 // dispatch starts the highest-priority pending task, if any.
@@ -180,13 +215,10 @@ func (c *CPU) dispatch() {
 		return
 	}
 	for p := Prio(0); p < NumPrio; p++ {
-		if len(c.queues[p]) == 0 {
+		if c.queues[p].len() == 0 {
 			continue
 		}
-		t := c.queues[p][0]
-		copy(c.queues[p], c.queues[p][1:])
-		c.queues[p] = c.queues[p][:len(c.queues[p])-1]
-		c.start(t)
+		c.start(c.queues[p].popFront())
 		return
 	}
 }
@@ -208,7 +240,7 @@ func (c *CPU) start(t *Task) {
 	t.started = c.machine.Sim.Now()
 	t.duration = Time(ns + 0.5)
 	c.current = t
-	t.doneRef = c.machine.Sim.After(t.duration, func() { c.complete(t) })
+	t.doneRef = c.machine.Sim.afterTask(t.duration, c, t)
 }
 
 func (c *CPU) complete(t *Task) {
@@ -248,7 +280,7 @@ func (c *CPU) Idle() bool {
 		return false
 	}
 	for p := Prio(0); p < NumPrio; p++ {
-		if len(c.queues[p]) > 0 {
+		if c.queues[p].len() > 0 {
 			return false
 		}
 	}
@@ -256,7 +288,7 @@ func (c *CPU) Idle() bool {
 }
 
 // QueueLen returns the number of queued (not running) tasks of class p.
-func (c *CPU) QueueLen(p Prio) int { return len(c.queues[p]) }
+func (c *CPU) QueueLen(p Prio) int { return c.queues[p].len() }
 
 // memActiveElsewhere reports whether any other CPU is running a
 // memory-active task right now.
@@ -327,7 +359,8 @@ func (t *Task) estNS() float64 {
 func pendingNS(c *CPU) float64 {
 	var ns float64
 	for p := Prio(0); p < NumPrio; p++ {
-		for _, t := range c.queues[p] {
+		q := &c.queues[p]
+		for _, t := range q.buf[q.head:] {
 			ns += t.estNS()
 		}
 	}

@@ -7,14 +7,18 @@
 // insertion order and no real-world time or map iteration order ever leaks
 // into scheduling decisions.
 //
+// The queue is a hierarchical timing wheel (see wheel.go): O(1) amortized
+// schedule and cancel, and dispatch that drains a whole time slot per batch
+// instead of re-heapifying per event.
+//
 // CPUs (see cpu.go) are built on top of the event queue and provide
 // priority-scheduled, preemptible execution of work items with cycle-accurate
 // cost accounting.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math/bits"
 	"time"
 )
 
@@ -42,42 +46,29 @@ func (t Time) String() string { return time.Duration(t).String() }
 // on a per-Sim free list: once popped from the queue they are recycled
 // immediately, so the hot path allocates nothing in steady state. The
 // generation counter invalidates EventRefs to recycled structs.
+//
+// Task completions — the dominant event type, one per executed Task — are
+// stored intrusively (kind evTask with cpu/task pointers) instead of as a
+// closure, so completing a task allocates nothing. The kind tag, not a nil
+// check, selects the dispatch path; stale pointers from a previous use of
+// the struct are simply ignored, which spares recycle from clearing them
+// (each clear would cost a GC write barrier per dispatched event).
 type event struct {
 	at     Time
-	seq    uint64 // tie breaker: FIFO among equal times
-	fn     func()
-	cancel bool
-	index  int    // heap index
+	seq    uint64 // tie breaker: FIFO among equal times (implicit in slot order)
+	fn     func() // kind evFunc
+	cpu    *CPU   // kind evTask
+	task   *Task  // kind evTask
+	owner  *Sim   // for the live-event counter on Cancel
 	gen    uint64 // bumped on recycle; stale EventRefs miscompare
+	kind   uint8
+	cancel bool
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
-}
+const (
+	evFunc = uint8(iota) // run fn
+	evTask               // run cpu.complete(task)
+)
 
 // EventRef identifies a scheduled event so it can be cancelled.
 type EventRef struct {
@@ -85,34 +76,43 @@ type EventRef struct {
 	gen uint64
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op: the generation counter detects that
-// the underlying struct has been recycled for a newer event.
+// Cancel prevents the event from firing. Cancellation is O(1) and lazy: the
+// event stays in its wheel slot and is reclaimed when the dispatcher reaches
+// it. Cancelling an already-fired or already-cancelled event is a no-op: the
+// generation counter detects that the underlying struct has been recycled
+// for a newer event.
 func (r EventRef) Cancel() {
-	if r.ev != nil && r.ev.gen == r.gen {
+	if r.ev != nil && r.ev.gen == r.gen && !r.ev.cancel {
 		r.ev.cancel = true
+		r.ev.owner.live--
 	}
 }
 
 // Sim is a discrete-event simulator instance.
 type Sim struct {
 	now    Time
-	queue  eventQueue
+	wheel  wheel
 	seq    uint64
 	nsteps uint64
+	live   int      // scheduled and not yet fired or cancelled
 	free   []*event // recycled event structs (single-owner pool)
 }
 
-// initialQueueCap pre-sizes the event heap and the free list so short runs
-// never re-grow them and long runs amortize growth to zero.
+// initialQueueCap pre-sizes the free list so short runs never re-grow it and
+// long runs amortize growth to zero.
 const initialQueueCap = 256
+
+// maxFreeEvents caps the free list. A burst-heavy cell can push tens of
+// thousands of events in flight at once; without a cap the pool would pin
+// that high-water mark in memory for the rest of a long campaign. Beyond the
+// cap, recycled structs are dropped for the GC. The cap comfortably exceeds
+// the steady-state in-flight population of every modelled system (one
+// chained arrival, per-CPU task completions, and a handful of timeouts).
+const maxFreeEvents = 1024
 
 // New returns an empty simulator at time zero.
 func New() *Sim {
-	return &Sim{
-		queue: make(eventQueue, 0, initialQueueCap),
-		free:  make([]*event, 0, initialQueueCap),
-	}
+	return &Sim{free: make([]*event, 0, initialQueueCap)}
 }
 
 // alloc takes an event struct off the free list, or makes a new one if the
@@ -123,16 +123,21 @@ func (s *Sim) alloc() *event {
 		s.free = s.free[:n-1]
 		return ev
 	}
-	return &event{}
+	return &event{owner: s}
 }
 
-// recycle returns a popped event to the pool. Bumping the generation first
-// turns any EventRef still pointing here into a no-op.
+// recycle returns a dispatched event to the pool. Bumping the generation
+// first turns any EventRef still pointing here into a no-op. The callback
+// pointer is deliberately left in place — clearing it costs a GC write
+// barrier per dispatched event, and the pool is capped, so at most
+// maxFreeEvents stale closures stay reachable until their structs are
+// reused.
 func (s *Sim) recycle(ev *event) {
 	ev.gen++
-	ev.fn = nil
 	ev.cancel = false
-	s.free = append(s.free, ev)
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, ev)
+	}
 }
 
 // Now returns the current simulated time.
@@ -148,9 +153,10 @@ func (s *Sim) At(at Time, fn func()) EventRef {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
 	ev := s.alloc()
-	ev.at, ev.seq, ev.fn = at, s.seq, fn
+	ev.at, ev.seq, ev.fn, ev.kind = at, s.seq, fn, evFunc
 	s.seq++
-	heap.Push(&s.queue, ev)
+	s.wheel.insert(ev)
+	s.live++
 	return EventRef{ev, ev.gen}
 }
 
@@ -162,27 +168,103 @@ func (s *Sim) After(d Time, fn func()) EventRef {
 	return s.At(s.now+d, fn)
 }
 
+// afterTask schedules the completion of t on c, d nanoseconds from now. It
+// is the closure-free twin of After for the per-task completion event — the
+// single most frequent event in every capture model — so running a task
+// does not allocate.
+func (s *Sim) afterTask(d Time, c *CPU, t *Task) EventRef {
+	ev := s.alloc()
+	ev.at, ev.seq, ev.cpu, ev.task, ev.kind = s.now+d, s.seq, c, t, evTask
+	s.seq++
+	s.wheel.insert(ev)
+	s.live++
+	return EventRef{ev, ev.gen}
+}
+
 // RunUntil executes events in order until the queue is empty or the next
 // event is later than limit. The clock is left at the time of the last
 // executed event (or limit if the queue drained earlier than limit but the
 // caller wants a full window; see AdvanceTo).
 func (s *Sim) RunUntil(limit Time) {
-	for len(s.queue) > 0 {
-		next := s.queue[0]
-		if next.at > limit {
+	w := &s.wheel
+	for w.n > 0 {
+		// Everything in the cursor's level-0 window is already filed at
+		// level 0, and a level-0 slot is one batch at one timestamp: drain it.
+		if m := w.occ[0] &^ (1<<(w.cur&wheelMask) - 1); m != 0 {
+			j := bits.TrailingZeros64(m)
+			at := Time(w.cur&^wheelMask | uint64(j))
+			if at > limit {
+				return
+			}
+			s.fireSlot(j, at)
+			continue
+		}
+		// Window exhausted: the next event lives in the first occupied slot
+		// of the lowest occupied level. Cascading it commits the cursor into
+		// its window, which is only safe once an event there is known to
+		// fire — otherwise a later schedule between now and the cursor would
+		// land behind the cursor and be lost. peekSlotMin gates that.
+		lvl, idx, start, ok := w.nextUpper()
+		if !ok {
 			return
 		}
-		heap.Pop(&s.queue)
-		// Recycle before running the callback: a popped event can never
-		// fire again, and fn may schedule new events that reuse the struct.
-		at, fn, cancelled := next.at, next.fn, next.cancel
-		s.recycle(next)
+		if Time(start) > limit {
+			return
+		}
+		min, live := peekSlotMin(w.level[lvl][idx])
+		if !live {
+			// Only cancelled events: reclaim them without moving the cursor.
+			list := w.take(lvl, idx)
+			for _, ev := range list {
+				s.recycle(ev)
+			}
+			w.put(list)
+			continue
+		}
+		if min > limit {
+			return
+		}
+		w.cascade(lvl, idx, start)
+	}
+}
+
+// fireSlot dispatches one level-0 slot: a batch of events sharing a single
+// timestamp, in seq order. Callbacks may schedule at the current instant;
+// those land in a fresh list for the same slot and the run loop picks them
+// up in the next pass.
+func (s *Sim) fireSlot(j int, at Time) {
+	w := &s.wheel
+	lp := w.level[0]
+	list := lp[j]
+	lp[j] = nil
+	w.clearOcc(0, j)
+	w.n -= len(list)
+	w.cur = uint64(at)
+	for _, ev := range list {
+		// Recycle before running the callback: a dispatched event can never
+		// fire again, and the callback may schedule new events that reuse
+		// the struct.
+		fn, cpu, task := ev.fn, ev.cpu, ev.task
+		kind, cancelled := ev.kind, ev.cancel
+		s.recycle(ev)
 		if cancelled {
 			continue
 		}
+		s.live--
 		s.now = at
 		s.nsteps++
-		fn()
+		if kind == evTask {
+			cpu.complete(task)
+		} else {
+			fn()
+		}
+	}
+	// Hand the batch's backing array straight back to the slot (unless a
+	// same-instant schedule already started a fresh list there): level-0
+	// slots recycle within nanoseconds, so keeping capacity in place avoids
+	// pool traffic on the hottest path.
+	if lp[j] == nil {
+		lp[j] = list[:0]
 	}
 }
 
@@ -190,24 +272,18 @@ func (s *Sim) RunUntil(limit Time) {
 func (s *Sim) Run() { s.RunUntil(Time(1<<62 - 1)) }
 
 // AdvanceTo moves the clock to t without executing anything. It panics if
-// events earlier than t are still pending, or if t is in the past.
+// non-cancelled events earlier than t are still pending, or if t is in the
+// past.
 func (s *Sim) AdvanceTo(t Time) {
 	if t < s.now {
 		panic("sim: AdvanceTo into the past")
 	}
-	if len(s.queue) > 0 && s.queue[0].at < t && !s.queue[0].cancel {
+	if at, ok := s.wheel.earliestLive(); ok && at < t {
 		panic("sim: AdvanceTo would skip pending events")
 	}
 	s.now = t
 }
 
 // Pending reports the number of live (non-cancelled) events in the queue.
-func (s *Sim) Pending() int {
-	n := 0
-	for _, ev := range s.queue {
-		if !ev.cancel {
-			n++
-		}
-	}
-	return n
-}
+// The count is maintained on schedule/cancel/fire, so this is O(1).
+func (s *Sim) Pending() int { return s.live }

@@ -436,7 +436,12 @@ func TestEventQueueZeroAllocSteadyState(t *testing.T) {
 	for i := 0; i < 32; i++ {
 		s.At(Time(i), tick)
 	}
-	s.RunUntil(s.Now() + 10_000) // warm up pool and heap
+	// Warm up the pool and the wheel's per-slot batch lists. The tick
+	// pattern's phase relative to the level-0 slot windows repeats only
+	// after lcm(100, 64) = 1600ns, and every (slot, phase) pair must have
+	// seen its maximal batch once before growth stops, so the warmup covers
+	// many full periods.
+	s.RunUntil(s.Now() + 200_000)
 	allocs := testing.AllocsPerRun(10, func() {
 		s.RunUntil(s.Now() + 10_000)
 	})

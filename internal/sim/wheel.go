@@ -1,0 +1,198 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a hierarchical timing wheel (Varghese & Lauck; see
+// Ros-Giralt et al., "Algorithms and Data Structures to Accelerate Network
+// Analysis", for the case for wheels over heaps in packet-rate workloads).
+// It replaces the former container/heap binary heap: scheduling and firing
+// are O(1) amortized instead of O(log n), dispatch pops a whole time slot
+// (one append-ordered batch) at a time instead of re-heapifying per event,
+// and the slot lists are reused so the hot path stays allocation-free.
+//
+// Layout. Level l has 64 slots of width 2^(6l) ns; level 0 slots are a
+// single nanosecond wide. With 11 levels the wheel spans the full
+// non-negative int64 timestamp range, so nothing ever overflows or wraps.
+// An event at absolute time t is filed at the lowest level whose slot width
+// still separates t from the dispatch cursor: the level of the highest bit
+// in which t and the cursor differ. A one-word occupancy bitmap per level
+// lets the dispatcher jump straight to the next non-empty slot, and level
+// slot arrays are allocated lazily — a typical capture cell touches levels
+// 0–4, so a fresh simulator costs a few KB, stays cheap for the GC to scan,
+// and the narrow 64-slot window costs nothing extra because an event
+// cascades at most once: insert re-files it at its exact final level,
+// usually straight to level 0.
+//
+// Ordering. The engine's contract is exact (time, seq) FIFO order. A level-0
+// slot is one nanosecond wide, so every event in it shares one timestamp and
+// batch order is insertion order. Insertions into any slot happen in
+// monotonically increasing seq order: direct schedules are globally
+// seq-ordered, a cascade preserves the relative order of the list it
+// redistributes, and a slot can only receive direct inserts after the
+// cascade that covers its window has run (the cursor must first enter the
+// window, and the cursor only moves forward). So plain append order is
+// (time, seq) order and no comparisons are needed anywhere.
+//
+// Cursor invariants. cur is the dispatch cursor: every slot strictly before
+// it (at every level) is empty, and the level-l slot containing cur has
+// already been cascaded. cur <= now whenever control is outside RunUntil,
+// which is what makes scheduling "in the present" land ahead of the cursor.
+// Inside RunUntil the cursor may only be advanced into a slot once an event
+// in that slot is guaranteed to fire (peekSlotMin gates the cascade): if the
+// run stopped at its limit with cur ahead of now, a later schedule between
+// now and cur would have to insert behind the cursor and be lost.
+const (
+	wheelBits   = 6
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 11 // ceil(63 / wheelBits): covers every int64 timestamp
+)
+
+type slots [wheelSlots][]*event
+
+type wheel struct {
+	level [wheelLevels]*slots // lazily allocated slot arrays
+	occ   [wheelLevels]uint64 // one occupancy bit per slot
+	sum   uint64              // summary: bit l set iff occ[l] != 0
+	pool  [][]*event          // spare batch arrays for upper-level slots
+	cur   uint64              // dispatch cursor (an absolute time)
+	n     int                 // events stored, including cancelled ones
+}
+
+// maxSpareBatches bounds the spare-array pool; beyond it, drained batch
+// arrays are dropped for the GC so a burst does not pin memory forever.
+const maxSpareBatches = 256
+
+// insert files ev by its absolute time, relative to the cursor. Level-0
+// slots keep their backing array across laps (they recycle within
+// nanoseconds), while an empty upper-level slot borrows a spare array from
+// the shared pool: upper slots are touched once per wheel lap, and laps
+// lengthen 64-fold per level, so private capacity there would mean an
+// allocation on every cold first touch deep into a run.
+func (w *wheel) insert(ev *event) {
+	t := uint64(ev.at)
+	lvl := uint(0)
+	if d := t ^ w.cur; d != 0 {
+		lvl = uint(63-bits.LeadingZeros64(d)) / wheelBits
+	}
+	idx := (t >> (lvl * wheelBits)) & wheelMask
+	lp := w.level[lvl]
+	if lp == nil {
+		lp = new(slots)
+		w.level[lvl] = lp
+	}
+	list := lp[idx]
+	if cap(list) == 0 {
+		if n := len(w.pool); n > 0 {
+			list = w.pool[n-1]
+			w.pool = w.pool[:n-1]
+		}
+	}
+	lp[idx] = append(list, ev)
+	w.occ[lvl] |= 1 << idx
+	w.sum |= 1 << lvl
+	w.n++
+}
+
+// put hands a drained upper-level batch's backing array back to the spare
+// pool. The array may keep stale event pointers beyond its reset length;
+// events are owned by the simulator's free list anyway, so nothing outlives
+// the Sim through them.
+func (w *wheel) put(list []*event) {
+	if len(w.pool) < maxSpareBatches {
+		w.pool = append(w.pool, list[:0])
+	}
+}
+
+// take empties slot idx at level lvl and returns its batch. The caller must
+// hand the batch back through put once it is done with it.
+func (w *wheel) take(lvl, idx int) []*event {
+	list := w.level[lvl][idx]
+	w.level[lvl][idx] = nil
+	w.clearOcc(lvl, idx)
+	w.n -= len(list)
+	return list
+}
+
+// clearOcc marks slot idx at level lvl empty and maintains the level
+// summary bitmap.
+func (w *wheel) clearOcc(lvl, idx int) {
+	w.occ[lvl] &^= 1 << idx
+	if w.occ[lvl] == 0 {
+		w.sum &^= 1 << lvl
+	}
+}
+
+// cascade moves the batch of an upper-level slot down: the cursor enters the
+// slot's window and every event re-files at its exact lower level (usually
+// straight to level 0). Relative order is preserved, so per-slot seq order
+// survives redistribution.
+//
+// The single-event case — the norm in capture cells, which keep only a
+// handful of widely spaced events in flight — skips the pool round-trip and
+// leaves the backing array on the slot: the same slot is revisited every
+// lap of its level, so the capacity stays warm in place.
+func (w *wheel) cascade(lvl, idx int, start uint64) {
+	lp := w.level[lvl]
+	if list := lp[idx]; len(list) == 1 {
+		ev := list[0]
+		lp[idx] = list[:0]
+		w.clearOcc(lvl, idx)
+		w.n--
+		w.cur = start
+		w.insert(ev)
+		return
+	}
+	list := w.take(lvl, idx)
+	w.cur = start
+	for _, ev := range list {
+		w.insert(ev)
+	}
+	w.put(list)
+}
+
+// peekSlotMin returns the earliest non-cancelled timestamp in a slot batch.
+// found is false when the slot holds only cancelled events.
+func peekSlotMin(list []*event) (min Time, found bool) {
+	for _, ev := range list {
+		if !ev.cancel && (!found || ev.at < min) {
+			min, found = ev.at, true
+		}
+	}
+	return min, found
+}
+
+// nextUpper locates the lowest level with an occupied slot at or after the
+// cursor position and returns (level, index, window start time). ok is false
+// when the wheel is empty above level 0.
+func (w *wheel) nextUpper() (lvl, idx int, start uint64, ok bool) {
+	for s := w.sum &^ 1; s != 0; s &^= 1 << lvl {
+		lvl = bits.TrailingZeros64(s)
+		shift := uint(lvl) * wheelBits
+		m := w.occ[lvl] &^ (1<<(w.cur>>shift&wheelMask) - 1)
+		if m == 0 {
+			continue
+		}
+		idx = bits.TrailingZeros64(m)
+		start = (w.cur>>shift&^uint64(wheelMask) | uint64(idx)) << shift
+		return lvl, idx, start, true
+	}
+	return 0, 0, 0, false
+}
+
+// earliestLive returns the timestamp of the earliest non-cancelled event
+// without mutating the wheel. Used by AdvanceTo's skipped-event check.
+func (w *wheel) earliestLive() (Time, bool) {
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		shift := uint(lvl) * wheelBits
+		m := w.occ[lvl] &^ (1<<(w.cur>>shift&wheelMask) - 1)
+		for m != 0 {
+			idx := bits.TrailingZeros64(m)
+			m &^= 1 << idx
+			if at, ok := peekSlotMin(w.level[lvl][idx]); ok {
+				return at, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// --- reference scheduler -------------------------------------------------
+//
+// refSched is the pre-wheel event queue: a container/heap binary heap
+// ordered by (time, seq) with lazy cancellation. It exists only as an
+// executable specification for the property test below — the wheel must
+// produce exactly the execution order this heap produces.
+
+type refItem struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	cancel bool
+}
+
+type refHeap []*refItem
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)    { *h = append(*h, x.(*refItem)) }
+func (h *refHeap) Pop() (it any) { old := *h; n := len(old); it = old[n-1]; *h = old[:n-1]; return }
+
+type refSched struct {
+	now Time
+	seq uint64
+	h   refHeap
+}
+
+func (r *refSched) At(at Time, fn func()) *refItem {
+	it := &refItem{at: at, seq: r.seq, fn: fn}
+	r.seq++
+	heap.Push(&r.h, it)
+	return it
+}
+
+func (r *refSched) Run() {
+	for r.h.Len() > 0 {
+		it := heap.Pop(&r.h).(*refItem)
+		if it.cancel {
+			continue
+		}
+		r.now = it.at
+		it.fn()
+	}
+}
+
+// --- property test -------------------------------------------------------
+
+// schedIface is the least common denominator the randomized program needs:
+// schedule at an absolute time, cancel, read the clock, run to exhaustion.
+type schedIface interface {
+	nowT() Time
+	at(t Time, fn func()) func() // returns the cancel action
+	run()
+}
+
+type wheelAdapter struct{ s *Sim }
+
+func (a wheelAdapter) nowT() Time { return a.s.Now() }
+func (a wheelAdapter) at(t Time, fn func()) func() {
+	ref := a.s.At(t, fn)
+	return ref.Cancel
+}
+func (a wheelAdapter) run() { a.s.Run() }
+
+type refAdapter struct{ r *refSched }
+
+func (a refAdapter) nowT() Time { return a.r.now }
+func (a refAdapter) at(t Time, fn func()) func() {
+	it := a.r.At(t, fn)
+	return func() {
+		if !it.cancel {
+			it.cancel = true
+		}
+	}
+}
+func (a refAdapter) run() { a.r.Run() }
+
+// runRandomProgram drives sched with a deterministic pseudo-random workload
+// of schedules, same-instant schedules, cancels, and reschedules, all
+// decided inside event callbacks, and returns the execution log. Any two
+// correct (time, seq)-FIFO schedulers must produce identical logs for the
+// same seed.
+func runRandomProgram(seed int64, sched schedIface) []Time {
+	rng := rand.New(rand.NewSource(seed))
+	var log []Time
+	var live []func() // cancel actions of events believed pending
+	var budget = 4000 // events scheduled in total, bounds the run
+
+	gap := func() Time {
+		switch rng.Intn(5) {
+		case 0:
+			return 0 // same instant: exercises FIFO tie-break
+		case 1:
+			return Time(rng.Intn(64)) // same level-0 window
+		case 2:
+			return Time(rng.Intn(4096)) // level 1
+		case 3:
+			return Time(rng.Intn(1_000_000)) // mid levels
+		default:
+			return Time(rng.Int63n(1 << 40)) // far future: deep levels
+		}
+	}
+
+	id := 0
+	var schedule func()
+	schedule = func() {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		id++
+		myID := Time(id)
+		cancel := sched.at(sched.nowT()+gap(), func() {
+			log = append(log, myID, sched.nowT())
+			// Fan out: keep the queue populated with a mix of depths.
+			for k := rng.Intn(3); k > 0; k-- {
+				schedule()
+			}
+			// Sometimes cancel a random pending event (possibly already
+			// fired: must be a no-op either way).
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				live[rng.Intn(len(live))]()
+			}
+			// Sometimes reschedule: cancel one and schedule a replacement.
+			if len(live) > 0 && rng.Intn(4) == 0 {
+				live[rng.Intn(len(live))]()
+				schedule()
+			}
+		})
+		live = append(live, cancel)
+	}
+
+	for i := 0; i < 16; i++ {
+		schedule()
+	}
+	sched.run()
+	return log
+}
+
+// TestWheelMatchesReferenceHeap is the scheduler equivalence property test:
+// the timing wheel must execute randomized schedule/cancel/reschedule
+// workloads in exactly the order of the reference binary heap.
+func TestWheelMatchesReferenceHeap(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		gotLog := runRandomProgram(seed, wheelAdapter{New()})
+		wantLog := runRandomProgram(seed, refAdapter{&refSched{}})
+		if len(gotLog) != len(wantLog) {
+			t.Fatalf("seed %d: wheel fired %d entries, reference %d", seed, len(gotLog)/2, len(wantLog)/2)
+		}
+		for i := range gotLog {
+			if gotLog[i] != wantLog[i] {
+				t.Fatalf("seed %d: execution logs diverge at entry %d: wheel %v, reference %v",
+					seed, i/2, gotLog[i], wantLog[i])
+			}
+		}
+	}
+}
+
+// TestFreeListCapped asserts that a burst of in-flight events does not pin
+// its high-water mark on the free list: after the burst drains, the pool
+// holds at most maxFreeEvents structs and the surplus is left to the GC.
+func TestFreeListCapped(t *testing.T) {
+	s := New()
+	const burst = 4 * maxFreeEvents
+	for i := 0; i < burst; i++ {
+		s.At(Time(i), func() {})
+	}
+	s.Run()
+	if got := len(s.free); got > maxFreeEvents {
+		t.Fatalf("free list holds %d events after a %d-event burst, cap is %d",
+			got, burst, maxFreeEvents)
+	}
+	// The pool must still be useful: the cap is a bound, not a purge.
+	if got := len(s.free); got != maxFreeEvents {
+		t.Fatalf("free list holds %d events, want exactly the cap %d", got, maxFreeEvents)
+	}
+}
+
+// --- microbenchmarks -----------------------------------------------------
+
+func nop() {}
+
+// BenchmarkSchedule measures raw insertion: filing events at mixed
+// distances without dispatching any of them.
+func BenchmarkSchedule(b *testing.B) {
+	s := New()
+	gaps := make([]Time, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range gaps {
+		gaps[i] = Time(rng.Int63n(1 << 30))
+	}
+	// Drain every batch so the benchmark measures insertion, not the memory
+	// footprint of b.N undispatched events.
+	const batch = 1 << 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&(batch-1) == batch-1 {
+			b.StopTimer()
+			s.Run()
+			b.StartTimer()
+		}
+		s.At(s.Now()+gaps[i&1023], nop)
+	}
+}
+
+// BenchmarkCancel measures O(1) lazy cancellation of pending events.
+func BenchmarkCancel(b *testing.B) {
+	s := New()
+	const batch = 1 << 16
+	refs := make([]EventRef, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i & (batch - 1)
+		if j == 0 {
+			b.StopTimer()
+			s.Run() // reclaim the previous batch's cancelled events
+			for k := range refs {
+				refs[k] = s.At(s.Now()+Time(k)+1, nop)
+			}
+			b.StartTimer()
+		}
+		refs[j].Cancel()
+	}
+}
+
+// benchRun measures steady-state dispatch throughput (ns per fired event)
+// with a configurable number of in-flight chains and tick gap. Dense mirrors
+// a saturated capture cell (many near-future events); sparse mirrors the
+// idle-to-moderate regime the end-to-end sweeps live in (a handful of
+// widely spaced events).
+func benchRun(b *testing.B, chains int, gap Time) {
+	s := New()
+	var tick func()
+	tick = func() { s.After(gap, tick) }
+	for i := 0; i < chains; i++ {
+		s.At(Time(i), tick)
+	}
+	s.RunUntil(s.Now() + 4*gap) // warm up slot batches
+	b.ReportAllocs()
+	b.ResetTimer()
+	fired := int(s.Steps())
+	for s.Steps() < uint64(b.N+fired) {
+		s.RunUntil(s.Now() + 64*gap)
+	}
+}
+
+func BenchmarkRunDense(b *testing.B)  { benchRun(b, 64, 100) }
+func BenchmarkRunSparse(b *testing.B) { benchRun(b, 4, 300_000) }
