@@ -61,7 +61,7 @@ func TestCompareSnapshotsFlagsRegressions(t *testing.T) {
 	oldSnap := snapWith(map[string]float64{"EventQueue": 1000, "SweepSerial": 100, "Cancel": 10})
 	newSnap := snapWith(map[string]float64{"EventQueue": 1200, "SweepSerial": 105, "Cancel": 9})
 	var buf bytes.Buffer
-	regs := compareSnapshots(oldSnap, newSnap, 0.10, true, &buf)
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, true, &buf)
 	if len(regs) != 1 || regs[0] != "EventQueue" {
 		t.Fatalf("regressions = %v, want [EventQueue] (+20%% > 10%%; +5%% and -10%% pass)", regs)
 	}
@@ -70,10 +70,25 @@ func TestCompareSnapshotsFlagsRegressions(t *testing.T) {
 	}
 }
 
+// TestCompareNoiseFloor pins the absolute floor on the ns/op gate: a large
+// relative swing on a single-digit-ns benchmark is timer jitter and must not
+// fail the gate, while a genuine multiple-of-the-floor regression must.
+func TestCompareNoiseFloor(t *testing.T) {
+	oldSnap := snapWith(map[string]float64{"Cancel": 5})
+	newSnap := snapWith(map[string]float64{"Cancel": 9}) // +80%, but only 4 ns
+	if regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, true, &bytes.Buffer{}); len(regs) != 0 {
+		t.Fatalf("sub-floor delta flagged %v, want none", regs)
+	}
+	newSnap = snapWith(map[string]float64{"Cancel": 25}) // 20 ns over the floor
+	if regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, true, &bytes.Buffer{}); len(regs) != 1 {
+		t.Fatalf("5 -> 25 ns/op regression not flagged, got %v", regs)
+	}
+}
+
 func TestCompareSnapshotsMissingTier1IsRegression(t *testing.T) {
 	oldSnap := snapWith(map[string]float64{"RunDense": 30})
 	newSnap := snapWith(map[string]float64{})
-	regs := compareSnapshots(oldSnap, newSnap, 0.10, true, &bytes.Buffer{})
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, true, &bytes.Buffer{})
 	if len(regs) != 1 || !strings.Contains(regs[0], "RunDense") {
 		t.Fatalf("regressions = %v, want RunDense flagged as missing", regs)
 	}
@@ -92,14 +107,14 @@ func TestCompareCrossEnvGatesOnAllocs(t *testing.T) {
 		"SweepSerial": {NsPerOp: 300, AllocsPerOp: 50},
 		"RunDense":    {NsPerOp: 90, AllocsPerOp: 0},
 	}}
-	if regs := compareSnapshots(oldSnap, newSnap, 0.10, false, &bytes.Buffer{}); len(regs) != 0 {
+	if regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, false, &bytes.Buffer{}); len(regs) != 0 {
 		t.Fatalf("cross-env with stable allocs flagged %v, want none", regs)
 	}
 	// An allocs/op regression, or a zero-alloc benchmark starting to
 	// allocate, must fail even cross-env.
 	newSnap.Benchmarks["SweepSerial"] = metrics{NsPerOp: 90, AllocsPerOp: 60}
 	newSnap.Benchmarks["RunDense"] = metrics{NsPerOp: 20, AllocsPerOp: 1}
-	regs := compareSnapshots(oldSnap, newSnap, 0.10, false, &bytes.Buffer{})
+	regs := compareSnapshots(oldSnap, newSnap, 0.10, 10, false, &bytes.Buffer{})
 	if len(regs) != 2 {
 		t.Fatalf("cross-env alloc regressions = %v, want both flagged", regs)
 	}

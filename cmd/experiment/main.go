@@ -499,12 +499,13 @@ func startCPUProfile(path string) (stop func(), err error) {
 	return func() {
 		pprof.StopCPUProfile()
 		name := f.Name()
-		if err := f.Close(); err == nil {
-			err = os.Rename(name, path)
-			if err == nil {
+		err := f.Close()
+		if err == nil {
+			if err = os.Rename(name, path); err == nil {
 				return
 			}
 		}
+		fmt.Fprintf(os.Stderr, "experiment: cpu profile not written to %s: %v\n", path, err)
 		os.Remove(name)
 	}, nil
 }

@@ -232,6 +232,13 @@ func (s *Sim) RunUntil(limit Time) {
 // timestamp, in seq order. Callbacks may schedule at the current instant;
 // those land in a fresh list for the same slot and the run loop picks them
 // up in the next pass.
+//
+// The cursor is committed together with the clock, just before a live
+// event's callback runs. A slot holding only cancelled events must leave
+// the cursor where it is — the same gate peekSlotMin applies to the
+// upper-level cascade in RunUntil — because advancing cur past a slot that
+// fired nothing leaves now behind cur, and a later legal schedule into that
+// gap would file behind the cursor and be silently lost.
 func (s *Sim) fireSlot(j int, at Time) {
 	w := &s.wheel
 	lp := w.level[0]
@@ -239,7 +246,6 @@ func (s *Sim) fireSlot(j int, at Time) {
 	lp[j] = nil
 	w.clearOcc(0, j)
 	w.n -= len(list)
-	w.cur = uint64(at)
 	for _, ev := range list {
 		// Recycle before running the callback: a dispatched event can never
 		// fire again, and the callback may schedule new events that reuse
@@ -250,6 +256,7 @@ func (s *Sim) fireSlot(j int, at Time) {
 		if cancelled {
 			continue
 		}
+		w.cur = uint64(at)
 		s.live--
 		s.now = at
 		s.nsteps++

@@ -54,6 +54,32 @@ func TestCancel(t *testing.T) {
 	}
 }
 
+// Regression: draining a slot that holds only cancelled events must not
+// advance the wheel cursor, because no event fired and the clock stayed
+// behind. Before the fix, the schedule at 20 below filed behind the cursor
+// (parked at 50) and was silently lost: g never fired and Pending() stayed
+// at 1 forever.
+func TestCancelledSlotDoesNotAdvanceCursor(t *testing.T) {
+	s := New()
+	s.At(50, func() { t.Fatal("cancelled event fired") }).Cancel()
+	s.Run()
+	if s.Now() != 0 {
+		t.Fatalf("Now = %v after cancelled-only run, want 0", s.Now())
+	}
+	fired := false
+	s.At(20, func() { fired = true })
+	s.Run()
+	if !fired {
+		t.Fatal("event scheduled after a cancelled-only run never fired")
+	}
+	if s.Now() != 20 {
+		t.Fatalf("Now = %v, want 20", s.Now())
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending = %d, want 0", s.Pending())
+	}
+}
+
 func TestRunUntilStopsEarly(t *testing.T) {
 	s := New()
 	var got []int

@@ -38,9 +38,10 @@ import "math/bits"
 // already been cascaded. cur <= now whenever control is outside RunUntil,
 // which is what makes scheduling "in the present" land ahead of the cursor.
 // Inside RunUntil the cursor may only be advanced into a slot once an event
-// in that slot is guaranteed to fire (peekSlotMin gates the cascade): if the
-// run stopped at its limit with cur ahead of now, a later schedule between
-// now and cur would have to insert behind the cursor and be lost.
+// in that slot is guaranteed to fire (peekSlotMin gates the cascade, and
+// fireSlot commits the cursor only as a live event dispatches): if control
+// left RunUntil with cur ahead of now, a later schedule between now and cur
+// would have to insert behind the cursor and be lost.
 const (
 	wheelBits   = 6
 	wheelSlots  = 1 << wheelBits
