@@ -10,14 +10,18 @@
 //	    (the least-noise estimator on a shared machine), and writes a
 //	    normalized JSON snapshot with environment metadata.
 //
-//	benchsnap compare -old BENCH_0006.json -new fresh.json [-threshold 0.10] [-floor 10]
+//	benchsnap compare -old BENCH_0006.json -new fresh.json [-threshold 0.10] [-floor 10] [-allow-missing]
 //	    Compares two snapshots and exits non-zero if any tier-1 benchmark
 //	    regressed by more than threshold in ns/op. Relative regressions
 //	    whose absolute delta is under floor ns/op are timer jitter on a
-//	    nanoseconds-per-op benchmark, not code, and are not gated. Setting
-//	    the BENCHGATE_ACCEPT environment variable to a non-empty reason
-//	    downgrades regressions to warnings — the documented override for
-//	    intentional performance trade-offs.
+//	    nanoseconds-per-op benchmark, not code, and are not gated. A tier-1
+//	    benchmark present in the baseline but missing from the candidate
+//	    fails the gate (deleting a benchmark must not pass it); the
+//	    -allow-missing flag downgrades exactly those to warnings, for
+//	    intentionally renamed or retired benchmarks. Setting the
+//	    BENCHGATE_ACCEPT environment variable to a non-empty reason
+//	    downgrades all regressions to warnings — the documented override
+//	    for intentional performance trade-offs.
 //
 //	benchsnap latest [-dir .]
 //	    Prints the path of the highest-numbered BENCH_*.json snapshot, for
@@ -277,6 +281,7 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 	newPath := fs.String("new", "", "candidate snapshot (required)")
 	threshold := fs.Float64("threshold", 0.10, "max tolerated ns/op regression (fraction)")
 	floor := fs.Float64("floor", 10, "ns/op noise floor: regressions with an absolute delta below this are not gated")
+	allowMissing := fs.Bool("allow-missing", false, "downgrade tier-1 benchmarks missing from the candidate to warnings instead of failing (escape hatch for intentionally renamed or retired benchmarks)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -306,6 +311,17 @@ func cmdCompare(args []string, stdout, stderr io.Writer) int {
 			oldSnap.Env.CPUModel, oldSnap.Env.NumCPU, newSnap.Env.CPUModel, newSnap.Env.NumCPU)
 	}
 	regressions := compareSnapshots(oldSnap, newSnap, *threshold, *floor, sameEnv, stdout)
+	if *allowMissing {
+		kept := regressions[:0]
+		for _, r := range regressions {
+			if strings.HasSuffix(r, " (missing)") {
+				fmt.Fprintf(stdout, "bench-gate: WARNING: %s allowed via -allow-missing\n", r)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		regressions = kept
+	}
 	if len(regressions) == 0 {
 		fmt.Fprintf(stdout, "bench-gate: OK (threshold %.0f%%, floor %.0f ns/op)\n", *threshold*100, *floor)
 		return 0

@@ -120,6 +120,63 @@ func TestCompareCrossEnvGatesOnAllocs(t *testing.T) {
 	}
 }
 
+// TestCompareCommandMissingBaselineBench pins the end-to-end contract: a
+// tier-1 benchmark that exists in the baseline but not in the candidate
+// must fail `benchsnap compare` (the gate must not pass because a
+// benchmark was deleted), and only the explicit -allow-missing escape
+// hatch downgrades it to a warning.
+func TestCompareCommandMissingBaselineBench(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_0001.json")
+	newPath := filepath.Join(dir, "candidate.json")
+	if err := writeSnapshot(oldPath, snapWith(map[string]float64{"RunDense": 30, "Cancel": 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(newPath, snapWith(map[string]float64{"Cancel": 5})); err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-old", oldPath, "-new", newPath}, &out, &errOut); code != 1 {
+		t.Fatalf("compare exit = %d, want 1 when a tier-1 benchmark is missing\n%s%s",
+			code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "RunDense (missing)") {
+		t.Fatalf("failure does not name the missing benchmark:\n%s", errOut.String())
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"compare", "-old", oldPath, "-new", newPath, "-allow-missing"}, &out, &errOut); code != 0 {
+		t.Fatalf("compare -allow-missing exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "WARNING: RunDense (missing)") {
+		t.Fatalf("-allow-missing did not warn about the skipped benchmark:\n%s", out.String())
+	}
+}
+
+// TestCompareAllowMissingDoesNotMaskRegressions: the escape hatch only
+// forgives missing benchmarks, never slow ones.
+func TestCompareAllowMissingDoesNotMaskRegressions(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_0001.json")
+	newPath := filepath.Join(dir, "candidate.json")
+	if err := writeSnapshot(oldPath, snapWith(map[string]float64{"RunDense": 30, "EventQueue": 1000})); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSnapshot(newPath, snapWith(map[string]float64{"EventQueue": 2000})); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{"compare", "-old", oldPath, "-new", newPath, "-allow-missing"}, &out, &errOut); code != 1 {
+		t.Fatalf("compare exit = %d, want 1: -allow-missing must not mask the EventQueue regression\n%s%s",
+			code, out.String(), errOut.String())
+	}
+	if strings.Contains(errOut.String(), "missing") {
+		t.Fatalf("missing benchmark still in the failure list:\n%s", errOut.String())
+	}
+}
+
 func TestCompareCommandAcceptOverride(t *testing.T) {
 	dir := t.TempDir()
 	oldPath := filepath.Join(dir, "BENCH_0001.json")

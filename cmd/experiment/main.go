@@ -32,6 +32,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/capture"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/journal"
@@ -86,6 +87,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		why        = fs.Bool("why", false, "append the per-point drop-cause table to each experiment")
 		jsonOut    = fs.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
 		chaos      = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
+		policy     = fs.String("policy", "", "sampling/load-shedding policy for every capturing application: none, uniform:N, flow:N, adaptive[:T] (shed packets are booked under shed-* ledger causes, not lost; part of the campaign fingerprint)")
 		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
 		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
 		serveAddr  = fs.String("serve", "", "serve the live monitoring API (campaign listing, SSE event stream, Prometheus /metrics) on this address while the campaign runs; with no run mode it serves standalone over the -journal directory until interrupted")
@@ -144,6 +146,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return exitUsage
 			}
 			o.Rates = append(o.Rates, v)
+		}
+	}
+	if *policy != "" {
+		spec, err := capture.ParsePolicy(*policy)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiment:", err)
+			return exitUsage
+		}
+		if spec.Enabled() {
+			// Canonical form, so "adaptive:0.5" and "adaptive" fingerprint
+			// the same campaign.
+			o.Policy = spec.String()
 		}
 	}
 	if *resume && *journalDir == "" {

@@ -33,9 +33,14 @@ func main() {
 				fmt.Printf(" %6.2f", float64(c)/float64(st.Generated)*100)
 			}
 			worst, avg, best := st.AppRates()
-			fmt.Printf("   [worst %.1f avg %.1f best %.1f]\n", worst, avg, best)
+			fmt.Printf("   [worst %.1f avg %.1f best %.1f fair %.3f]\n",
+				worst, avg, best, st.Fairness())
 		}
 	}
+	fmt.Println("\n'fair' is Jain's fairness index over the per-app capture counts:")
+	fmt.Println("1.0 = every application got the same share, 1/n = one app starved")
+	fmt.Println("the rest (defined as 1.0 when every app captured zero: nothing was")
+	fmt.Println("shared unevenly).")
 	fmt.Println("\nThesis §6.3.3: \"one should avoid using multiple capturing")
 	fmt.Println("applications simultaneously\" — Linux' capturing rate \"drops")
 	fmt.Println("nearly to zero when the system is under overload\", FreeBSD")

@@ -1,6 +1,9 @@
 package capture
 
-import "repro/internal/sim"
+import (
+	"repro/internal/flows"
+	"repro/internal/sim"
+)
 
 // App is one capturing application (the createDist tool used as capture
 // program in the measurements): it reads packets from its OS attachment
@@ -34,6 +37,14 @@ type App struct {
 	// CauseAbandoned when a run is truncated mid-read.
 	inflightPkts  int
 	inflightBytes uint64
+
+	// Sampling / load-shedding policy state (policy.go). sampler is nil
+	// when no policy is configured — the unpoliced fast path. Shed counts
+	// the packets the policy declined; flowsKept tracks the distinct flow
+	// hashes among delivered packets when flow coverage is enabled.
+	sampler   policySampler
+	Shed      uint64
+	flowsKept map[uint64]struct{}
 }
 
 func newApp(s *System, idx int) *App {
@@ -44,6 +55,10 @@ func newApp(s *System, idx int) *App {
 	}
 	if s.Load.Workers > 0 {
 		a.gWorker = s.newGauge("worker-queue", idx, s.Costs.WorkerQueueBytes)
+	}
+	a.sampler = s.Policy.newSampler()
+	if a.sampler != nil || s.CountFlows {
+		a.flowsKept = make(map[uint64]struct{})
 	}
 	return a
 }
@@ -56,11 +71,110 @@ func (a *App) reset() {
 	a.sliceUsed = 0
 	a.workerOutstanding = 0
 	a.inflightPkts, a.inflightBytes = 0, 0
+	a.Shed = 0
+	if a.sampler != nil {
+		a.sampler.reset()
+	}
+	if a.flowsKept != nil {
+		a.flowsKept = make(map[uint64]struct{})
+	}
 	if a.pipe != nil {
 		p := a.pipe
 		p.buf, p.busy, p.producerBlocked = 0, false, false
 		p.BytesIn, p.BytesOut = 0, 0
 	}
+}
+
+// admission is the sampling-policy outcome of one read batch: which
+// packets the application processes, what it shed, and the decision cost.
+// The stacks compute it when the read batch is built and book it via
+// finishRead when the read task completes, so truncated runs account the
+// whole batch as in flight (CauseAbandoned) rather than half-shed.
+type admission struct {
+	caplens   []int    // capture lengths of the admitted packets
+	flowKeys  []uint64 // flow hashes of the admitted packets
+	shed      int
+	shedBytes uint64
+	policyNS  float64 // decision cost folded into the read task
+}
+
+// admitBatch applies the application's sampling policy to one read batch.
+// occ is the queue occupancy in [0,1] observed when the read started (the
+// adaptive controller's feedback signal). Every packet of the batch has
+// already been read from the OS buffers — shedding skips the per-packet
+// analysis load, not the kernel or syscall cost. Without a policy the
+// batch is admitted wholesale at zero cost.
+func (a *App) admitBatch(batch []kpkt, occ float64) admission {
+	adm := admission{caplens: make([]int, 0, len(batch))}
+	if a.sampler == nil {
+		if a.flowsKept == nil {
+			// The measurement fast path: no policy, no flow accounting.
+			// Kept free of per-packet calls — this loop runs for every
+			// packet of every unpoliced benchmark and golden run.
+			for _, p := range batch {
+				adm.caplens = append(adm.caplens, p.caplen)
+			}
+			return adm
+		}
+		for _, p := range batch {
+			adm.caplens = append(adm.caplens, p.caplen)
+			adm.noteFlow(a, p.data)
+		}
+		return adm
+	}
+	a.sampler.observe(occ)
+	adm.policyNS = a.sys.ufixed(a.sys.Costs.PolicyPerPktNS) * float64(len(batch))
+	for _, p := range batch {
+		if !a.sampler.admit(p.data) {
+			adm.shed++
+			adm.shedBytes += uint64(p.caplen)
+			continue
+		}
+		adm.caplens = append(adm.caplens, p.caplen)
+		adm.noteFlow(a, p.data)
+	}
+	return adm
+}
+
+// noteFlow records one admitted packet's flow hash for flow-coverage
+// accounting (applied to the app's table only when the read completes).
+func (adm *admission) noteFlow(a *App, frame []byte) {
+	if a.flowsKept == nil {
+		return
+	}
+	if k, ok := flows.KeyOf(frame); ok {
+		adm.flowKeys = append(adm.flowKeys, k.Hash())
+	}
+}
+
+// finishRead books a completed read batch: admitted packets count as
+// captured (with their flows), shed packets go to the policy's ledger
+// cause at completion time, and the in-flight window closes.
+func (a *App) finishRead(adm admission) {
+	a.Captured += uint64(len(adm.caplens))
+	for _, h := range adm.flowKeys {
+		a.flowsKept[h] = struct{}{}
+	}
+	if adm.shed > 0 {
+		a.Shed += uint64(adm.shed)
+		a.sys.ledger.RecordN(a.sys.Policy.Cause(), adm.shed, adm.shedBytes,
+			a.sys.Sim.Now()-a.sys.runStart)
+	}
+	a.inflightPkts, a.inflightBytes = 0, 0
+}
+
+// occupancy folds the application's queue fill signals into the adaptive
+// controller's feedback value: the OS-buffer occupancy observed by the
+// stack, and — when analysis workers are configured — the worker-queue
+// occupancy, whichever is more congested.
+func (a *App) occupancy(bufOcc float64) float64 {
+	occ := bufOcc
+	if a.sys.Load.Workers > 0 && a.sys.Costs.WorkerQueueBytes > 0 {
+		if w := float64(a.workerOutstanding) / float64(a.sys.Costs.WorkerQueueBytes); w > occ {
+			occ = w
+		}
+	}
+	return occ
 }
 
 // procCost prices the application-side handling of one packet beyond the

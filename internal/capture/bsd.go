@@ -256,22 +256,24 @@ func (st *bsdStack) consumeHold(a *App, att *batt) {
 	}
 	fixed := st.sys.ufixed(c.ReadSyscallNS)
 	mem := copyBytes
-	caplens := make([]int, 0, len(chunk))
-	for _, p := range chunk {
-		caplens = append(caplens, p.caplen)
-	}
 	locality := c.BulkLocalityFactor
 	if st.sys.MmapPatch {
 		// Without the copy the chunk is not pre-warmed.
 		locality = 1.0
 	}
-	loadFixed, loadMem, finish := a.batchLoad(caplens, locality)
+	// The controller watches the STORE half filling behind the read: by
+	// the time the HOLD is consumed, store occupancy is the freshest
+	// congestion signal this attachment has.
+	occ := a.occupancy(float64(att.store.bytes) / float64(st.sys.BufferBytes))
+	adm := a.admitBatch(chunk, occ)
+	fixed += adm.policyNS
+	loadFixed, loadMem, finish := a.batchLoad(adm.caplens, locality)
 	fixed += loadFixed
 	mem += loadMem
 	n := len(chunk)
 	a.inflightPkts = n
-	for _, cl := range caplens {
-		a.inflightBytes += uint64(cl)
+	for _, p := range chunk {
+		a.inflightBytes += uint64(p.caplen)
 	}
 	est := fixed + mem*st.sys.umemNs()
 	a.submitWork(&sim.Task{
@@ -281,8 +283,7 @@ func (st *bsdStack) consumeHold(a *App, att *batt) {
 		MemBytes:     mem,
 		MemNsPerByte: st.sys.umemNs(),
 		OnDone: func() {
-			a.Captured += uint64(n)
-			a.inflightPkts, a.inflightBytes = 0, 0
+			a.finishRead(adm)
 			finish()
 			a.state = stIdle
 			st.appStart(a)

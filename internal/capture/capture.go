@@ -82,6 +82,11 @@ type Costs struct {
 	FlowTrackNS  float64 // per-packet flow-table update (FlowTrack load)
 	PipePerPktNS float64 // write() of one packet into the gzip pipe
 	PipeBufBytes int     // pipe capacity
+	// PolicyPerPktNS is the sampling-policy decision cost per packet read
+	// (counter/hash/controller update). Paid only when a Policy is
+	// configured; shed packets still pay it — shedding saves the analysis
+	// load, not the decision.
+	PolicyPerPktNS float64
 
 	// Application analysis workers.
 	WorkerQueueBytes int // backpressure bound for Load.Workers
@@ -132,6 +137,8 @@ func DefaultCosts() Costs {
 		FlowTrackNS:  450,
 		PipePerPktNS: 350,
 		PipeBufBytes: 64 << 10,
+
+		PolicyPerPktNS: 60,
 
 		WorkerQueueBytes: 8 << 20,
 
@@ -220,6 +227,17 @@ type Config struct {
 	Filter  bpf.Program // nil: accept everything
 	Load    AppLoad
 
+	// Policy is the per-application sampling / load-shedding policy
+	// (policy.go). The zero value disables shedding and keeps every
+	// output byte-identical to the unpoliced model.
+	Policy PolicySpec
+
+	// CountFlows tracks the distinct 5-tuple flows each application
+	// delivers (Stats.AppFlows) — the denominator-side bookkeeping of
+	// flow-coverage accuracy. Enabled implicitly by any active Policy;
+	// set it explicitly to get flow coverage for an unpoliced baseline.
+	CountFlows bool
+
 	// Prepared marks a config whose time constants and buffer sizes have
 	// already been scaled for a workload (core.Prepare sets it). Scaling is
 	// multiplicative, so it must happen exactly once per config.
@@ -241,6 +259,16 @@ type Stats struct {
 	AppCaptured []uint64
 	AppDrops    []uint64 // stack-level drops attributed to the app's buffer
 	QueueDrops  uint64   // Linux input-queue (backlog) overflows
+	// AppShed counts the packets each application's sampling policy
+	// deliberately declined (nil when no Policy is configured, so runs
+	// without a policy serialize byte-identically to older records).
+	AppShed []uint64 `json:",omitempty"`
+	// AppFlows counts the distinct 5-tuple flows each application
+	// delivered (nil unless CountFlows or a Policy is active).
+	AppFlows []uint64 `json:",omitempty"`
+	// PolicyName is the active sampling policy spec ("uniform:4", …),
+	// empty when no policy was configured.
+	PolicyName string `json:",omitempty"`
 	// CPU accounting over the active window.
 	BusyTime  sim.Time
 	WallTime  sim.Time

@@ -16,6 +16,16 @@ func (s Stats) CapturedTotal() uint64 {
 	return n
 }
 
+// ShedTotal sums the packets every application's sampling policy
+// deliberately declined (zero without a policy).
+func (s Stats) ShedTotal() uint64 {
+	var n uint64
+	for _, c := range s.AppShed {
+		n += c
+	}
+	return n
+}
+
 // CheckConservation verifies that every offered packet is accounted for:
 // per application, Generated == Captured + shared drops (before the
 // fan-out, each costing every application the packet) + per-app drops.
@@ -83,6 +93,10 @@ func (s Stats) Explain() string {
 			fmt.Fprintf(&b, "  %-12s %10d %12d %12.3f %12.3f\n",
 				c.String(), d.Packets, d.Bytes,
 				float64(d.First)/1e6, float64(d.Last)/1e6)
+		}
+		if shed := s.Ledger.ShedPackets(); shed > 0 {
+			fmt.Fprintf(&b, "  of which %d pkts were shed deliberately by the %s policy (shed != lost)\n",
+				shed, s.PolicyName)
 		}
 	}
 

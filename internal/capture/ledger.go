@@ -63,6 +63,18 @@ const (
 	// never did (injected underrun or mid-train stall). Booked when a
 	// faulted repetition is normalized against the intended train length.
 	CauseFaultGenerator
+	// CauseShedUniform: packets the application's uniform 1-in-N sampling
+	// policy deliberately declined after reading them from the OS (see
+	// Policy). Shed is not loss: the application chose not to process the
+	// packet, so the cause is per-application and distinct from every
+	// buffer-overflow cause above.
+	CauseShedUniform
+	// CauseShedFlow: packets declined by the flow-aware sampling policy
+	// (whole 5-tuple flows hash-selected out of the kept set).
+	CauseShedFlow
+	// CauseShedAdaptive: packets declined by the queue-depth feedback
+	// controller while it was backing off under load.
+	CauseShedAdaptive
 
 	NumCauses
 )
@@ -94,6 +106,12 @@ func (c Cause) String() string {
 		return "fault-splitter"
 	case CauseFaultGenerator:
 		return "fault-generator"
+	case CauseShedUniform:
+		return "shed-uniform"
+	case CauseShedFlow:
+		return "shed-flow"
+	case CauseShedAdaptive:
+		return "shed-adaptive"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -202,6 +220,26 @@ func (l Ledger) SharedPackets() uint64 {
 		if c.Shared() {
 			n += l.Drops[c].Packets
 		}
+	}
+	return n
+}
+
+// ShedCauses lists the deliberate-shedding causes in declaration order.
+var ShedCauses = []Cause{CauseShedUniform, CauseShedFlow, CauseShedAdaptive}
+
+// Shed reports whether drops of this cause were deliberate policy
+// decisions (load shedding) rather than losses the system suffered.
+func (c Cause) Shed() bool {
+	return c == CauseShedUniform || c == CauseShedFlow || c == CauseShedAdaptive
+}
+
+// ShedPackets returns the packets deliberately shed by sampling policies —
+// a subset of PerAppPackets, since shedding happens after the per-app
+// fan-out.
+func (l Ledger) ShedPackets() uint64 {
+	var n uint64
+	for _, c := range ShedCauses {
+		n += l.Drops[c].Packets
 	}
 	return n
 }

@@ -209,9 +209,12 @@ func (st *linuxStack) appStart(a *App) {
 	copy(sk.queue, sk.queue[n:])
 	sk.queue = sk.queue[:len(sk.queue)-n]
 
+	// Occupancy is observed before the batch is drained: the controller
+	// sees the rcvbuf as the wakeup found it.
+	occ := a.occupancy(float64(sk.bytes) / float64(st.sys.BufferBytes))
+
 	ring := st.sys.MmapPatch || st.sys.PFRing
 	var fixed, mem float64
-	caplens := make([]int, 0, n)
 	for _, p := range batch {
 		sk.bytes -= p.caplen + c.SkbOverhead
 		if ring {
@@ -220,11 +223,12 @@ func (st *linuxStack) appStart(a *App) {
 			fixed += st.sys.ufixed(c.RecvSyscallNS)
 			mem += float64(p.caplen)
 		}
-		caplens = append(caplens, p.caplen)
 		a.inflightBytes += uint64(p.caplen)
 	}
 	a.inflightPkts = n
-	loadFixed, loadMem, finish := a.batchLoad(caplens, 1.0)
+	adm := a.admitBatch(batch, occ)
+	fixed += adm.policyNS
+	loadFixed, loadMem, finish := a.batchLoad(adm.caplens, 1.0)
 	fixed += loadFixed
 	mem += loadMem
 	est := fixed + mem*st.sys.umemNs()
@@ -235,8 +239,7 @@ func (st *linuxStack) appStart(a *App) {
 		MemBytes:     mem,
 		MemNsPerByte: st.sys.umemNs(),
 		OnDone: func() {
-			a.Captured += uint64(n)
-			a.inflightPkts, a.inflightBytes = 0, 0
+			a.finishRead(adm)
 			finish()
 			a.state = stIdle
 			st.appStart(a)

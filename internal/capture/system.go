@@ -466,6 +466,17 @@ func (s *System) collectStats(generated uint64) Stats {
 	for _, a := range s.apps {
 		st.AppCaptured = append(st.AppCaptured, a.Captured)
 	}
+	if s.Policy.Enabled() {
+		st.PolicyName = s.Policy.String()
+		for _, a := range s.apps {
+			st.AppShed = append(st.AppShed, a.Shed)
+		}
+	}
+	if s.Policy.Enabled() || s.CountFlows {
+		for _, a := range s.apps {
+			st.AppFlows = append(st.AppFlows, uint64(len(a.flowsKept)))
+		}
+	}
 	st.AppDrops, st.QueueDrops = s.stack.dropStats()
 	st.Stamped, st.TsErrSum, st.TsErrMax, st.TsTies = s.tsStamped, s.tsErrSum, s.tsErrMax, s.tsTies
 	return st

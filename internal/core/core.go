@@ -68,6 +68,12 @@ type Workload struct {
 	// FixedSize, when nonzero, disables the size distribution and
 	// generates fixed-size frames (classic pktgen mode).
 	FixedSize int
+	// Flows, when > 1, cycles the generated UDP source port so the train
+	// carries this many distinct 5-tuple flows (the measurement default is
+	// a single flow — fixed addresses and ports, only the source MAC
+	// cycles). Flow-level experiments need real flow diversity; 0 keeps
+	// the train byte-identical to the thesis setup.
+	Flows int
 }
 
 // scale is the time-compression factor of a run relative to the thesis's
@@ -100,6 +106,9 @@ func (w Workload) Generator() *pktgen.Generator {
 	g := pktgen.New(w.Seed)
 	g.Config.Count = w.Packets
 	g.Config.TargetRate = w.TargetRate
+	if w.Flows > 1 {
+		g.Config.UDPSrcPortCount = w.Flows
+	}
 	if w.FixedSize > 0 {
 		g.Config.PktSize = w.FixedSize
 	} else {

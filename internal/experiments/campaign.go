@@ -36,6 +36,9 @@ type fingerprintInput struct {
 	Seed    uint64    `json:"seed"`
 	Rates   []float64 `json:"rates"`
 	Chaos   uint64    `json:"chaos"`
+	// Policy is omitted when empty so campaigns recorded before the
+	// sampling policies existed keep their fingerprints.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Fingerprint hashes the campaign identity of o (defaults applied), bound
@@ -49,6 +52,7 @@ func Fingerprint(o Options) (string, error) {
 		Seed:    o.Seed,
 		Rates:   o.Rates,
 		Chaos:   o.Chaos,
+		Policy:  o.Policy,
 	}, moduleVersion())
 }
 

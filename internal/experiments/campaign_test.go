@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -114,6 +115,46 @@ func TestCampaignFingerprintMismatch(t *testing.T) {
 	rc.Close()
 }
 
+// TestCampaignResumeHeaderOnly: a campaign interrupted after Create wrote
+// the header but before any cell completed must resume as a clean, empty
+// campaign — zero replayed cells, nothing torn — and then run to the same
+// byte-identical output as an uninterrupted campaign.
+func TestCampaignResumeHeaderOnly(t *testing.T) {
+	o := campaignOpts()
+	dir := t.TempDir()
+	c, err := CreateCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	rc, err := ResumeCampaign(dir, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.Torn || rc.TornBytes != 0 {
+		t.Fatalf("header-only campaign reported torn: %+v", rc)
+	}
+	if rc.Replayed != 0 || rc.Len() != 0 {
+		t.Fatalf("header-only campaign replayed %d cells (len %d), want 0", rc.Replayed, rc.Len())
+	}
+
+	e, err := Find("fig6.2-smp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := e.Run(o)
+	or := o
+	or.Journal = rc
+	if got := e.Run(or); got != clean {
+		t.Fatal("run resumed from a header-only journal differs from a plain run")
+	}
+	if rc.Len() == 0 {
+		t.Fatal("resumed run recorded no cells")
+	}
+	rc.Close()
+}
+
 // TestCampaignDuplicateLastWins: recording one cell twice keeps the later
 // outcome after a resume — the write-ahead log's last-write-wins contract.
 func TestCampaignDuplicateLastWins(t *testing.T) {
@@ -162,6 +203,7 @@ func TestFingerprintSemanticFields(t *testing.T) {
 		"seed":    func(o *Options) { o.Seed = 2 },
 		"rates":   func(o *Options) { o.Rates = []float64{100} },
 		"chaos":   func(o *Options) { o.Chaos = 1 },
+		"policy":  func(o *Options) { o.Policy = "uniform:4" },
 	} {
 		o := campaignOpts()
 		mutate(&o)
@@ -169,5 +211,21 @@ func TestFingerprintSemanticFields(t *testing.T) {
 		if fp == base {
 			t.Errorf("fingerprint ignores %s", name)
 		}
+	}
+}
+
+// TestFingerprintPolicyBackwardCompatible: with no policy set, the
+// fingerprint input marshals exactly as it did before the Policy field
+// existed, so journals recorded by older builds of the same version keep
+// resuming.
+func TestFingerprintPolicyBackwardCompatible(t *testing.T) {
+	in := fingerprintInput{Packets: 2000, Reps: 2, Seed: 1, Rates: []float64{300}, Chaos: 0}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"packets":2000,"reps":2,"seed":1,"rates":[300],"chaos":0}`
+	if string(b) != want {
+		t.Fatalf("empty-policy fingerprint input = %s, want %s", b, want)
 	}
 }

@@ -43,6 +43,14 @@ type Options struct {
 	// carried in the NDJSON records. Zero keeps the legacy byte-identical
 	// output paths.
 	Chaos uint64
+	// Policy applies a sampling / load-shedding policy to every capturing
+	// application of the sweeps (capture.ParsePolicy syntax) — the
+	// `experiment -policy` flag. Empty means no policy and keeps every
+	// output byte-identical to the unpoliced runs. A semantic knob: it
+	// changes what the measurement cells compute and is part of the
+	// campaign fingerprint. The policy-sweep experiment ext-shedding
+	// ignores it (it sweeps the policies itself).
+	Policy string
 
 	// Ctx, when non-nil, lets a caller cancel a running experiment: the
 	// worker pools drain (in-flight cells finish, nothing new starts) and
@@ -79,6 +87,29 @@ func (o Options) chaosOptions(experiment string) core.ChaosOptions {
 		Experiment: experiment,
 		Observer:   o.Observer,
 	}
+}
+
+// applyPolicy stamps the -policy override onto sweep configs. An empty or
+// "none" policy returns cfgs untouched (the same slice), so the default
+// paths stay byte-identical. The CLI validates the spec string before any
+// sweep runs; a malformed one reaching this point is a programming error.
+func (o Options) applyPolicy(cfgs []capture.Config) []capture.Config {
+	if o.Policy == "" {
+		return cfgs
+	}
+	spec, err := capture.ParsePolicy(o.Policy)
+	if err != nil {
+		panic(err)
+	}
+	if !spec.Enabled() {
+		return cfgs
+	}
+	out := make([]capture.Config, len(cfgs))
+	for i, cfg := range cfgs {
+		cfg.Policy = spec
+		out[i] = cfg
+	}
+	return out
 }
 
 func (o Options) withDefaults() Options {
@@ -239,10 +270,11 @@ func seriesSweep(experiment string, cfgs func() []capture.Config) func(o Options
 	return func(o Options) []core.Series {
 		o = o.withDefaults()
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed}
+		sweepCfgs := o.applyPolicy(cfgs())
 		if o.Chaos != 0 {
-			return core.SweepRatesResilient(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions(experiment))
+			return core.SweepRatesResilient(o.ctx(), sweepCfgs, o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions(experiment))
 		}
-		return core.SweepRatesObserved(o.ctx(), cfgs(), o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal, o.Observer)
+		return core.SweepRatesObserved(o.ctx(), sweepCfgs, o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal, o.Observer)
 	}
 }
 
@@ -428,9 +460,10 @@ func bufferSweepExpt(id, paper, title string, cpuMod modifier) Experiment {
 
 func bufferSweepRun(o Options, experiment string, cpuMod modifier) (kbs []int, cells []core.Cell, sts []capture.Stats, outs []core.CellOutcome) {
 	w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: 980e6}
+	bases := o.applyPolicy(systems(cpuMod))
 	for kb := 128; kb <= 262144; kb *= 2 {
 		kbs = append(kbs, kb)
-		for _, base := range systems(cpuMod) {
+		for _, base := range bases {
 			cfg := base
 			if cfg.OS == capture.Linux {
 				cfg.BufferBytes = kb << 10
@@ -484,9 +517,10 @@ func multiAppExpt(id, paper, title string, n int) Experiment {
 
 func multiAppRun(o Options, experiment string, n int) ([]core.Cell, []capture.Stats, []core.CellOutcome) {
 	var cells []core.Cell
+	bases := o.applyPolicy(systems(bigBuffers, dual))
 	for _, r := range o.Rates {
 		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6}
-		for _, base := range systems(bigBuffers, dual) {
+		for _, base := range bases {
 			cfg := base
 			cfg.NumApps = n
 			cells = append(cells, core.Cell{Cfg: cfg, W: w})
@@ -711,10 +745,11 @@ func abs(x float64) float64 {
 
 // Spread reports the fairness criterion of §6.3.3 for a finished multi-app
 // run: the thesis's "deviation of about five percent under FreeBSD".
+// A run that generated nothing yields all-zero rates, not NaN from 0/0.
 func Spread(st capture.Stats) stats.Summary {
 	rates := make([]float64, len(st.AppCaptured))
 	for i, c := range st.AppCaptured {
-		rates[i] = float64(c) / float64(st.Generated) * 100
+		rates[i] = stats.Percent(float64(c), float64(st.Generated))
 	}
 	return stats.Summarize(rates)
 }

@@ -22,6 +22,7 @@ func extensions() []Experiment {
 		expt("ext-10gbe", "§7.2", "outlook: the same systems against 10 Gigabit Ethernet", run10GbE),
 		expt("ext-production", "§2.3/§4.1.4", "a production day on the MWN uplink (filter + flows + header traces)", runProduction),
 		expt("ext-moderation", "§2.2.1", "interrupt moderation: CPU relief vs timestamp accuracy", runModeration),
+		shedExpt(),
 		expt("abl-housekeeping", "model ablation", "default-buffer drop onset with and without OS housekeeping stalls", runAblHousekeeping),
 		expt("abl-contention", "model ablation", "Xeon front-side-bus contention on vs off under copy load", runAblContention),
 	}
@@ -178,6 +179,121 @@ func runProduction(o Options) string {
 		fmt.Fprintln(&out)
 	}
 	return out.String()
+}
+
+// shedFlows is the flow diversity of the shedding experiment's train: the
+// generator cycles this many UDP source ports so the flow policy has real
+// flows to keep or shed (the measurement-default train is a single
+// 5-tuple — fixed addresses and ports).
+const shedFlows = 64
+
+// shedPolicies is the policy axis of the shedding sweep: the unpoliced
+// baseline against one representative of each policy family.
+var shedPolicies = []string{"none", "uniform:4", "flow:4", "adaptive"}
+
+// shedConfigs returns the shedding sweep's systems: the two capturing
+// stacks (Linux swan, FreeBSD moorhen) at dual CPU with big buffers, at 1
+// and 4 applications, each under the four policies. The series name
+// encodes app count and policy ("moorhen-a4-adaptive"); the baseline
+// counts flows too, so flow coverage is comparable across the policy axis.
+func shedConfigs() []capture.Config {
+	var cfgs []capture.Config
+	for _, napps := range []int{1, 4} {
+		for _, pol := range shedPolicies {
+			spec, err := capture.ParsePolicy(pol)
+			if err != nil {
+				panic(err)
+			}
+			for _, mk := range []func() capture.Config{core.Swan, core.Moorhen} {
+				// The fig6.10 memcpy analysis load: shedding relieves the
+				// *application's* per-packet work, so without analysis cost
+				// there would be nothing for the adaptive controller to win.
+				cfg := memcpy(50)(dual(mk()))
+				cfg.NumApps = napps
+				cfg.Policy = spec
+				cfg.CountFlows = true
+				cfg.Name = fmt.Sprintf("%s-a%d-%s", cfg.Name, napps, pol)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}
+
+// shedRun lays the shedding sweep out rate-major over shedConfigs and runs
+// the cells through the durable/resilient engines (so -json, SSE and
+// -chaos all work like any other per-cell sweep).
+func shedRun(o Options, experiment string) ([]core.Cell, []capture.Stats, []core.CellOutcome) {
+	bases := shedConfigs()
+	var cells []core.Cell
+	for _, r := range o.Rates {
+		w := core.Workload{Packets: o.Packets, Seed: o.Seed, TargetRate: r * 1e6, Flows: shedFlows}
+		for _, cfg := range bases {
+			cells = append(cells, core.Cell{Cfg: cfg, W: w})
+		}
+	}
+	nsys := len(bases)
+	sts, outs := runCellsMaybeChaos(o, experiment, cells,
+		func(i int) uint64 { return uint64(o.Rates[i/nsys] * 1e3) },
+		func(i int) float64 { return o.Rates[i/nsys] })
+	return cells, sts, outs
+}
+
+// shedExpt builds the ext-shedding experiment: accuracy-vs-load curves of
+// the three sampling policies against the unpoliced baseline — under
+// overload an arbitrary tail-drop loses arbitrary packets, while a policy
+// trades completeness for a *chosen* subset (whole flows, an even 1-in-N,
+// or whatever the queues leave room for). Columns: per-app packet accuracy
+// (captured/generated), flow coverage (distinct flows seen per app /
+// flows in the train), deliberately shed share, and Jain's fairness index
+// over the per-app capture counts.
+func shedExpt() Experiment {
+	const id = "ext-shedding"
+	series := func(o Options) []core.Series {
+		o = o.withDefaults()
+		cells, sts, outs := shedRun(o, id)
+		nsys := len(shedConfigs())
+		return cellSeries(cells, sts, outs, func(i int) float64 { return o.Rates[i/nsys] })
+	}
+	run := func(o Options) string {
+		o = o.withDefaults()
+		cells, sts, outs := shedRun(o, id)
+		nsys := len(shedConfigs())
+		var out strings.Builder
+		fmt.Fprintln(&out, "# load shedding: packet/flow accuracy, shed share and fairness by policy")
+		fmt.Fprintf(&out, "# swan + moorhen, dual CPU, big buffers, %d flows per train; shed != lost (see -why)\n", shedFlows)
+		fmt.Fprintln(&out, "# rate\tsystem\tpkt%\tflow%\tshed%\tfair")
+		for i, st := range sts {
+			napps := len(st.AppCaptured)
+			var flowPct float64
+			for _, f := range st.AppFlows {
+				flowPct += float64(f)
+			}
+			if napps > 0 {
+				flowPct = flowPct / float64(napps) / shedFlows * 100
+			}
+			shedPct := 0.0
+			if st.Generated > 0 && napps > 0 {
+				shedPct = float64(st.ShedTotal()) / float64(uint64(napps)*st.Generated) * 100
+			}
+			fmt.Fprintf(&out, "%.0f\t%s\t%6.2f\t%6.2f\t%6.2f\t%5.3f\n",
+				o.Rates[i/nsys], cells[i].Cfg.Name,
+				st.CaptureRate(), flowPct, shedPct, st.Fairness())
+		}
+		xOf := func(i int) float64 { return o.Rates[i/nsys] }
+		if o.Why {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatWhy(cellSeries(cells, sts, outs, xOf)))
+		}
+		if o.Chaos != 0 {
+			out.WriteByte('\n')
+			out.WriteString(core.FormatChaos(cellSeries(cells, sts, outs, xOf)))
+		}
+		return out.String()
+	}
+	return Experiment{ID: id, Paper: "§7.2 / [BDSW10]",
+		Title: "adaptive load-aware sampling and load shedding under overload",
+		Run:   run, Series: series}
 }
 
 // runModeration quantifies the §2.2.1 trade-off: interrupt moderation

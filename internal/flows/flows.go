@@ -106,6 +106,56 @@ func (t *Table) Observe(ts time.Time, frame []byte) {
 	}
 }
 
+// KeyOf parses one frame and returns its canonical (bidirectional) flow
+// key, ok=false for non-IPv4 frames. It is the 5-tuple extraction the
+// capture simulation's flow-aware sampling policy shares with the flow
+// table, so "keep whole flows" means the same flows Observe would account.
+func KeyOf(frame []byte) (Key, bool) {
+	s, err := pkt.Parse(frame)
+	if err != nil || !s.IsIPv4 {
+		return Key{}, false
+	}
+	k := Key{SrcIP: s.IPv4.Src, DstIP: s.IPv4.Dst, Proto: s.IPv4.Protocol}
+	switch {
+	case s.IsUDP:
+		k.SrcPort, k.DstPort = s.UDP.SrcPort, s.UDP.DstPort
+	case s.IsTCP:
+		k.SrcPort, k.DstPort = s.TCP.SrcPort, s.TCP.DstPort
+	}
+	return canonical(k), true
+}
+
+// Hash returns a deterministic 64-bit FNV-1a hash of the key. The hash is
+// platform- and run-independent, so hash-based flow selection (sampling
+// policies) is reproducible across processes.
+func (k Key) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, a := range [2]netip.Addr{k.SrcIP, k.DstIP} {
+		if !a.IsValid() {
+			mix(0)
+			continue
+		}
+		b16 := a.As16()
+		for _, b := range b16 {
+			mix(b)
+		}
+	}
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	mix(k.Proto)
+	return h
+}
+
 // canonical orders the endpoints so A→B and B→A share a key.
 func canonical(k Key) Key {
 	swap := false

@@ -107,6 +107,45 @@ func TestResumeTornTail(t *testing.T) {
 	}
 }
 
+// TestResumeHeaderOnly: a journal that stopped right after Create — the
+// header frame is durable but no cell was ever recorded — resumes cleanly
+// as an empty campaign: zero records, nothing torn, and further appends
+// land on the clean post-header boundary.
+func TestResumeHeaderOnly(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Torn || rv.TornBytes != 0 {
+		t.Fatalf("header-only journal reported torn: %+v", rv)
+	}
+	if len(rv.Records) != 0 {
+		t.Fatalf("header-only journal recovered %d records, want 0", len(rv.Records))
+	}
+	if rv.Fingerprint != "fp" {
+		t.Fatalf("fingerprint = %q, want %q", rv.Fingerprint, "fp")
+	}
+	if err := j2.Append(rec{K: "x", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rv2, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv2.Torn || len(rv2.Records) != 1 {
+		t.Fatalf("after post-resume append: torn=%v records=%d, want clean 1",
+			rv2.Torn, len(rv2.Records))
+	}
+}
+
 // TestResumeCorruptFrame: a bit flip inside a frame fails its CRC; the
 // journal is truncated at that frame (dropping it and everything after).
 func TestResumeCorruptFrame(t *testing.T) {

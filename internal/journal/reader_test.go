@@ -182,6 +182,60 @@ func TestReaderCorruptFrame(t *testing.T) {
 	}
 }
 
+// TestReaderHeaderOnly: tailing a journal that holds only its header
+// frame yields exactly that frame and then reports "nothing yet" — no
+// error, no phantom records — and picks records up once they arrive.
+func TestReaderHeaderOnly(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, "fp-hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	payload, ok, err := r.Next()
+	if err != nil || !ok {
+		t.Fatalf("header frame: ok=%v err=%v", ok, err)
+	}
+	h, err := ParseHeader(payload)
+	if err != nil || h.Fingerprint != "fp-hdr" {
+		t.Fatalf("header = %+v, err=%v", h, err)
+	}
+	if _, ok, err := r.Next(); ok || err != nil {
+		t.Fatalf("header-only journal: Next ok=%v err=%v, want no frame, no error", ok, err)
+	}
+	if err := j.Append(rec{K: "cell", N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, ok, err := r.Next(); !ok || err != nil {
+		t.Fatalf("appended record not visible: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestReadAllHeaderOnly: a header-only journal snapshots as zero records,
+// not as an error — the shape of a campaign interrupted before its first
+// completed cell.
+func TestReadAllHeaderOnly(t *testing.T) {
+	path := tmpJournal(t)
+	j, err := Create(path, "fp-hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	h, recs, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Fingerprint != "fp-hdr" || len(recs) != 0 {
+		t.Fatalf("header-only ReadAll = %+v, %d records; want fp-hdr, 0", h, len(recs))
+	}
+}
+
 // TestReadAll snapshots a journal without modifying it, torn tail and
 // all.
 func TestReadAll(t *testing.T) {

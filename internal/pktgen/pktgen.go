@@ -59,6 +59,12 @@ type Config struct {
 	SrcMACCount int // cycle the source MAC over this many addresses
 	UDPSrcPort  uint16
 	UDPDstPort  uint16
+	// UDPSrcPortCount cycles the UDP source port over this many
+	// consecutive ports starting at UDPSrcPort (the module's
+	// udp_src_min/udp_src_max range). 0 or 1 keeps the fixed port — and
+	// the single 5-tuple — of the measurement defaults; larger values
+	// give the train genuine flow diversity for flow-level experiments.
+	UDPSrcPortCount int
 
 	// LineRate is the medium bit rate (default 1 Gbit/s).
 	LineRate float64
@@ -118,6 +124,7 @@ type Generator struct {
 type cacheKey struct {
 	size int
 	mac  int
+	port int
 }
 
 // New creates a generator with the default configuration and a
@@ -185,6 +192,11 @@ func (g *Generator) Pgset(cmd string) error {
 		}
 		g.Config.UDPSrcPort = uint16(p)
 		return nil
+	case "udp_src_count":
+		// Extension mirroring src_mac_count: cycle the UDP source port
+		// over this many ports (the module expresses the same range as
+		// udp_src_min/udp_src_max).
+		return g.setInt(&g.Config.UDPSrcPortCount, arg, 0)
 	case "udp_dst_min":
 		var p int
 		if err := g.setInt(&p, arg, 0); err != nil {
@@ -357,9 +369,22 @@ func (g *Generator) nextFrameLen() int {
 	return g.Config.PktSize
 }
 
-// frame returns the (cached) frame bytes for a size and MAC index.
-func (g *Generator) frame(size, macIdx int) []byte {
-	key := cacheKey{size, macIdx}
+// portMix decorrelates the flow sequence from the packet sequence (the
+// splitmix64 finalizer). A plain Sent%count round-robin aliases with
+// count-based packet samplers — any sampling modulus dividing the flow
+// count keeps exactly the same flows on every cycle, which would make a
+// uniform packet sampler look flow-aware by accident.
+func portMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// frame returns the (cached) frame bytes for a size, MAC and source-port
+// index.
+func (g *Generator) frame(size, macIdx, portIdx int) []byte {
+	key := cacheKey{size, macIdx, portIdx}
 	if f, ok := g.cache[key]; ok {
 		return f
 	}
@@ -368,7 +393,7 @@ func (g *Generator) frame(size, macIdx int) []byte {
 	f := pkt.BuildUDP(nil, pkt.UDPSpec{
 		SrcMAC: mac, DstMAC: g.Config.DstMAC,
 		SrcIP: g.Config.SrcIP, DstIP: g.Config.DstIP,
-		SrcPort: g.Config.UDPSrcPort, DstPort: g.Config.UDPDstPort,
+		SrcPort: g.Config.UDPSrcPort + uint16(portIdx), DstPort: g.Config.UDPDstPort,
 		FrameLen: size,
 	})
 	g.cache[key] = f
@@ -388,7 +413,11 @@ func (g *Generator) Next() (Packet, bool) {
 	if g.Config.SrcMACCount > 1 {
 		macIdx = int(g.Sent % uint64(g.Config.SrcMACCount))
 	}
-	data := g.frame(size, macIdx)
+	portIdx := 0
+	if g.Config.UDPSrcPortCount > 1 {
+		portIdx = int(portMix(g.Sent) % uint64(g.Config.UDPSrcPortCount))
+	}
+	data := g.frame(size, macIdx, portIdx)
 	wire := len(data) + pkt.WireOverhead
 
 	gap := float64(wire) * 8 / g.Config.LineRate * 1e9 // serialization

@@ -56,6 +56,20 @@ type Costs = capture.Costs
 // Workload describes a generated packet train (count, rate, seed).
 type Workload = core.Workload
 
+// PolicySpec configures a per-application sampling / load-shedding
+// policy (Config.Policy): uniform 1-in-N, whole-flow 1-in-N, or
+// adaptive queue-depth feedback. The zero value keeps every packet.
+type PolicySpec = capture.PolicySpec
+
+// ParsePolicy parses a policy spec: "none", "uniform:N", "flow:N",
+// "adaptive[:T]".
+func ParsePolicy(s string) (PolicySpec, error) { return capture.ParsePolicy(s) }
+
+// FairnessIndex returns Jain's fairness index over per-application
+// capture counts (1.0 = equal shares; defined as 1.0 for the all-zero
+// column).
+func FairnessIndex(captured []uint64) float64 { return capture.FairnessIndex(captured) }
+
 // Operating systems of the study.
 const (
 	Linux   = capture.Linux
