@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/dispatch"
 	"repro/internal/experiments"
 	"repro/internal/journal"
 	"repro/internal/monitor"
@@ -91,6 +92,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
 		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
 		serveAddr  = fs.String("serve", "", "serve the live monitoring API (campaign listing, SSE event stream, Prometheus /metrics) on this address while the campaign runs; with no run mode it serves standalone over the -journal directory until interrupted")
+		coordAddr  = fs.String("coordinator", "", "run the campaign as a dispatch coordinator: serve the monitoring API plus the lease protocol on this address and shard the campaign's cells across connected -worker processes (requires -journal and -all/-id; the merged result is byte-identical to an undistributed run)")
+		workersN   = fs.Int("workers", 0, "with -coordinator: also start this many in-process workers (a self-contained distributed run, used by CI)")
+		workerAddr = fs.String("worker", "", "run as a dispatch worker against the coordinator at this address: lease cells, measure them, report back; exits 0 when the campaign completes, 2 on a campaign-fingerprint mismatch")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file (written atomically: temp file + rename)")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file on exit, written atomically")
 	)
@@ -166,6 +170,69 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return exitUsage
 	}
 
+	// -worker is a whole program of its own: no run mode, no journal, no
+	// monitor — just the lease-measure-complete loop against the
+	// coordinator, whose options the worker's must match exactly.
+	if *workerAddr != "" {
+		var conflict string
+		switch {
+		case *list || *all || *id != "":
+			conflict = "-worker is exclusive with -list/-all/-id (the coordinator picks the work)"
+		case *journalDir != "":
+			conflict = "-worker records nothing locally; the coordinator owns the -journal"
+		case *serveAddr != "" || *coordAddr != "":
+			conflict = "-worker cannot also serve (-serve) or coordinate (-coordinator)"
+		case *jsonOut || *gpDir != "" || *why:
+			conflict = "-worker produces no output; -json/-gp/-why belong on the coordinator"
+		case *chaos != 0:
+			conflict = "-chaos campaigns cannot be distributed (fault plans are process-local)"
+		}
+		if conflict != "" {
+			fmt.Fprintln(stderr, "experiment:", conflict)
+			fs.Usage()
+			return exitUsage
+		}
+		return runWorker(ctx, stderr, *workerAddr, o)
+	}
+
+	coordinating := *coordAddr != ""
+	var coord *dispatch.Coordinator
+	if coordinating {
+		var conflict string
+		switch {
+		case *journalDir == "":
+			conflict = "-coordinator requires -journal <dir> (the lease table and results must be durable)"
+		case !*all && *id == "":
+			conflict = "-coordinator requires a run mode (-all or -id)"
+		case *chaos != 0:
+			conflict = "-chaos campaigns cannot be distributed (fault plans are process-local)"
+		case *serveAddr != "":
+			conflict = "-coordinator already serves the monitoring API on its own address; drop -serve"
+		}
+		if conflict != "" {
+			fmt.Fprintln(stderr, "experiment:", conflict)
+			fs.Usage()
+			return exitUsage
+		}
+		fp, err := experiments.Fingerprint(o)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiment:", err)
+			return exitRuntime
+		}
+		coord = dispatch.New(campaignID(*journalDir), fp)
+		coord.LocalWorkers = *parallel
+	}
+	if *workersN != 0 && !coordinating {
+		fmt.Fprintln(stderr, "experiment: -workers requires -coordinator")
+		fs.Usage()
+		return exitUsage
+	}
+	if *workersN < 0 {
+		fmt.Fprintln(stderr, "experiment: -workers must not be negative")
+		fs.Usage()
+		return exitUsage
+	}
+
 	// -serve stands the monitoring service up before any measurement
 	// starts, so a dashboard connected from the first cell misses nothing.
 	// The hub doubles as the engines' Observer: with it attached the run
@@ -173,7 +240,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// (bounded rings drop on a stalled consumer; publishing never blocks).
 	var hub *monitor.Hub
 	var httpSrv *http.Server
-	if *serveAddr != "" {
+	var baseURL string // coordinator's own URL, for in-process workers
+	serveOn := *serveAddr
+	if coordinating {
+		serveOn = *coordAddr
+	}
+	if serveOn != "" {
 		hub = monitor.NewHub()
 		reg := monitor.NewRegistry()
 		reg.Attach(hub)
@@ -182,15 +254,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			// run (or from a standalone -serve with no run mode at all).
 			reg.AddJournalDir(campaignID(*journalDir), *journalDir)
 		}
-		ln, err := net.Listen("tcp", *serveAddr)
+		ln, err := net.Listen("tcp", serveOn)
 		if err != nil {
 			fmt.Fprintln(stderr, "experiment:", err)
 			return exitRuntime
 		}
-		httpSrv = &http.Server{Handler: monitor.NewServer(hub, reg).Handler()}
+		handler := monitor.NewServer(hub, reg).Handler()
+		if coord != nil {
+			// The lease protocol rides the same mux as the monitoring API:
+			// specific dispatch routes win, everything else falls through.
+			mux := http.NewServeMux()
+			coord.Register(mux)
+			mux.Handle("/", handler)
+			handler = mux
+			coord.Observer = hub
+		}
+		httpSrv = &http.Server{Handler: handler}
 		go httpSrv.Serve(ln)
 		defer closeServer(httpSrv)
-		fmt.Fprintf(stderr, "experiment: monitoring at http://%s\n", ln.Addr())
+		baseURL = "http://" + ln.Addr().String()
+		if coordinating {
+			fmt.Fprintf(stderr, "experiment: coordinating at %s\n", baseURL)
+		} else {
+			fmt.Fprintf(stderr, "experiment: monitoring at %s\n", baseURL)
+		}
 		o.Observer = hub
 	}
 
@@ -207,6 +294,40 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			c.Observer = hub
 		}
 		o.Journal = c
+		if coord != nil {
+			coord.Journal = c
+			// The lease table shares the journal directory and the WAL
+			// format: a -resume'd coordinator replays it and keeps each
+			// cell's dispatch-attempt count.
+			if err := coord.OpenWAL(*journalDir, *resume); err != nil {
+				fmt.Fprintln(stderr, "experiment:", err)
+				return exitRuntime
+			}
+			defer coord.Close()
+			o.Executor = coord
+		}
+	}
+
+	// The in-process worker pool: a self-contained distributed run over
+	// loopback HTTP — same protocol, same failure surface, no extra
+	// processes to babysit (CI's favorite shape). External -worker
+	// processes can join alongside at any time.
+	var workerWG sync.WaitGroup
+	if coord != nil && *workersN > 0 {
+		wo := o
+		wo.Ctx, wo.Journal, wo.Observer, wo.Executor = nil, nil, nil, nil
+		for i := 1; i <= *workersN; i++ {
+			w := &dispatch.Worker{
+				ID: fmt.Sprintf("local-%d", i), BaseURL: baseURL, Options: wo,
+			}
+			workerWG.Add(1)
+			go func() {
+				defer workerWG.Done()
+				if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+					fmt.Fprintf(stderr, "experiment: worker %s: %v\n", w.ID, err)
+				}
+			}()
+		}
 	}
 
 	var err error
@@ -221,12 +342,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			}
 			hub.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: campaign(*journalDir), Detail: fp})
 		}
-		err = dispatch(ctx, out, o, *list, *all, *id, *jsonOut, *gpDir)
+		err = runMode(ctx, out, o, *list, *all, *id, *jsonOut, *gpDir)
 		if hub != nil && (*all || *id != "") && err == nil && ctx.Err() == nil {
 			hub.Observe(core.Event{Kind: core.EventCampaignFinish, Campaign: campaign(*journalDir)})
 		}
 	case httpSrv == nil:
 		err = &usageError{}
+	}
+	if coord != nil {
+		// The campaign is over (or dead): tell the workers — they get the
+		// gone status on their next lease poll and exit 0 — and drain the
+		// in-process pool before tearing the listener down.
+		coord.Finish()
+		workerWG.Wait()
+		st := coord.Stats()
+		if st.Granted > 0 {
+			fmt.Fprintf(stderr, "experiment: dispatch: %d leases granted, %d expired, %d straggler re-dispatches, %d duplicate completions, %d cells run locally\n",
+				st.Granted, st.Expired, st.Redispatched, st.Duplicates, st.LocalCells)
+		}
 	}
 	if ctx.Err() != nil {
 		// The interrupt wins over any secondary error: pools have drained,
@@ -250,10 +383,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "experiment:", err)
 		return exitRuntime
 	}
-	if httpSrv != nil {
+	if httpSrv != nil && !coordinating {
 		// Flush the tables now — the run is done, only the monitor keeps
 		// the process alive — then serve until the first signal (exit 3,
-		// like any other interrupted wait).
+		// like any other interrupted wait). A coordinator instead exits
+		// with its campaign: its listener exists for the workers.
 		out.Flush()
 		if mode {
 			fmt.Fprintln(stderr, "experiment: run complete; still serving — interrupt (SIGINT/SIGTERM) to exit")
@@ -309,9 +443,46 @@ func openCampaign(stderr io.Writer, dir string, resume bool, o experiments.Optio
 	return c, nil
 }
 
-// dispatch selects and executes the requested mode; all failures come
+// runWorker is the whole -worker mode: join the coordinator, serve
+// leases until the campaign completes. Exit codes follow the usual
+// contract — a campaign-fingerprint mismatch is a usage error (2): the
+// worker was started with flags that describe a different campaign.
+func runWorker(ctx context.Context, stderr io.Writer, addr string, o experiments.Options) int {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	w := &dispatch.Worker{
+		ID:      fmt.Sprintf("%s-%d", host, os.Getpid()),
+		BaseURL: base,
+		Options: o,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(stderr, "experiment: "+format+"\n", args...)
+		},
+	}
+	err := w.Run(ctx)
+	switch {
+	case err == nil:
+		return exitOK
+	case ctx.Err() != nil:
+		fmt.Fprintln(stderr, "experiment: interrupted")
+		return exitInterrupted
+	default:
+		fmt.Fprintln(stderr, "experiment:", err)
+		if _, ok := err.(*dispatch.FingerprintMismatchError); ok {
+			return exitUsage
+		}
+		return exitRuntime
+	}
+}
+
+// runMode selects and executes the requested mode; all failures come
 // back as errors so run keeps the single exit point.
-func dispatch(ctx context.Context, out io.Writer, o experiments.Options, list, all bool, id string, jsonOut bool, gpDir string) error {
+func runMode(ctx context.Context, out io.Writer, o experiments.Options, list, all bool, id string, jsonOut bool, gpDir string) error {
 	switch {
 	case list:
 		for _, e := range experiments.All() {

@@ -461,3 +461,98 @@ func TestRunProfilingFlags(t *testing.T) {
 		t.Errorf("profile dir has %d entries, want 2 (no temp files left behind): %v", len(entries), entries)
 	}
 }
+
+// TestRunDistributedFlagConflicts pins the CLI surface of distributed
+// mode: every nonsensical flag combination is a usage error (exit 2)
+// with a diagnostic naming the conflict, before anything runs.
+func TestRunDistributedFlagConflicts(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"worker with id", []string{"-worker", "127.0.0.1:1", "-id", "fig6.2-smp"},
+			"-worker is exclusive with -list/-all/-id"},
+		{"worker with journal", []string{"-worker", "127.0.0.1:1", "-journal", dir},
+			"the coordinator owns the -journal"},
+		{"worker with serve", []string{"-worker", "127.0.0.1:1", "-serve", "127.0.0.1:0"},
+			"-worker cannot also serve"},
+		{"worker with coordinator", []string{"-worker", "127.0.0.1:1", "-coordinator", "127.0.0.1:0"},
+			"-worker cannot also serve"},
+		{"worker with json", []string{"-worker", "127.0.0.1:1", "-json"},
+			"-worker produces no output"},
+		{"workers without coordinator", []string{"-id", "fig6.2-smp", "-workers", "2"},
+			"-workers requires -coordinator"},
+		{"coordinator without journal", []string{"-coordinator", "127.0.0.1:0", "-id", "fig6.2-smp"},
+			"-coordinator requires -journal"},
+		{"coordinator without mode", []string{"-coordinator", "127.0.0.1:0", "-journal", dir},
+			"requires a run mode"},
+		{"coordinator with chaos", []string{"-coordinator", "127.0.0.1:0", "-journal", dir,
+			"-id", "fig6.2-smp", "-chaos", "3"}, "cannot be distributed"},
+		{"coordinator with serve", []string{"-coordinator", "127.0.0.1:0", "-journal", dir,
+			"-id", "fig6.2-smp", "-serve", "127.0.0.1:0"}, "drop -serve"},
+		{"negative workers", []string{"-coordinator", "127.0.0.1:0", "-journal", dir,
+			"-id", "fig6.2-smp", "-workers", "-1"}, "-workers must not be negative"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if got := runBG(c.args, &out, &errb); got != exitUsage {
+				t.Fatalf("run(%v) = %d, want 2\nstderr: %s", c.args, got, errb.String())
+			}
+			if !strings.Contains(errb.String(), c.want) {
+				t.Fatalf("run(%v): diagnostic missing %q:\n%s", c.args, c.want, errb.String())
+			}
+		})
+	}
+}
+
+// TestRunDistributedByteIdentical is the CLI-level distribution check:
+// a campaign sharded across an in-process worker pool renders output
+// byte-identical to the same campaign run undistributed, and a -resume
+// of the finished campaign replays every cell without granting leases.
+func TestRunDistributedByteIdentical(t *testing.T) {
+	args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-reps", "2",
+		"-rates", "300,900", "-parallel", "2"}
+
+	var plain, perrb bytes.Buffer
+	if code := runBG(args, &plain, &perrb); code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, perrb.String())
+	}
+
+	dir := t.TempDir()
+	dist := append(args, "-journal", dir, "-coordinator", "127.0.0.1:0", "-workers", "2")
+	var out bytes.Buffer
+	var errb syncBuffer
+	if code := run(context.Background(), dist, &out, &errb); code != 0 {
+		t.Fatalf("distributed run exit %d: %s", code, errb.String())
+	}
+	if out.String() != plain.String() {
+		t.Fatalf("distributed output differs from undistributed run:\n--- plain\n%s\n--- distributed\n%s",
+			plain.String(), out.String())
+	}
+	if !strings.Contains(errb.String(), "coordinating at ") {
+		t.Fatalf("no coordinator notice on stderr:\n%s", errb.String())
+	}
+	if !strings.Contains(errb.String(), "leases granted") {
+		t.Fatalf("no dispatch summary on stderr:\n%s", errb.String())
+	}
+
+	// Resuming the completed campaign replays everything from the journal:
+	// same bytes out, zero leases granted.
+	out.Reset()
+	var rerrb syncBuffer
+	if code := run(context.Background(), append(dist, "-resume"), &out, &rerrb); code != 0 {
+		t.Fatalf("resumed distributed run exit %d: %s", code, rerrb.String())
+	}
+	if out.String() != plain.String() {
+		t.Fatal("resumed distributed output not byte-identical to undistributed run")
+	}
+	if !strings.Contains(rerrb.String(), "resuming campaign") {
+		t.Fatalf("no resume notice:\n%s", rerrb.String())
+	}
+	if strings.Contains(rerrb.String(), "leases granted") {
+		t.Fatalf("fully replayed campaign still granted leases:\n%s", rerrb.String())
+	}
+}

@@ -224,7 +224,7 @@ type policySampler interface {
 
 // uniformSampler keeps the first of every n consecutive packets.
 type uniformSampler struct {
-	n   uint64
+	n    uint64
 	seen uint64
 }
 

@@ -54,6 +54,13 @@ const (
 	EventSnifferDead
 	// EventCheckpoint: the campaign journal durably recorded a cell.
 	EventCheckpoint
+	// EventLease: the dispatch coordinator granted a lease of cells to a
+	// worker (Worker set; Detail carries the lease id and cell count).
+	EventLease
+	// EventLeaseExpired: a lease's deadline passed without completion —
+	// missed heartbeats or a dead worker — and its unfinished cells went
+	// back to the dispatch queue (Worker set).
+	EventLeaseExpired
 )
 
 // String returns the wire name of the kind (used by the SSE stream and
@@ -80,6 +87,10 @@ func (k EventKind) String() string {
 		return "sniffer-dead"
 	case EventCheckpoint:
 		return "checkpoint"
+	case EventLease:
+		return "lease"
+	case EventLeaseExpired:
+		return "lease-expired"
 	default:
 		return "unknown"
 	}
@@ -101,6 +112,10 @@ type Event struct {
 	Experiment string
 	// System is the sniffer configuration name (cell-level events).
 	System string
+	// Worker is the dispatch worker the event is attributed to: the
+	// lease holder on lease-level events, the worker that measured the
+	// cell on dispatched EventCells. Empty for local runs.
+	Worker string
 	// Point is the durable point fingerprint (CellKey.Point).
 	Point uint64
 	// X is the plotted x value where the engine knows it (the data rate in

@@ -67,6 +67,22 @@ type CellJournal interface {
 	Record(k CellKey, out CellOutcome) error
 }
 
+// CellExecutor runs measurement cells somewhere other than the local
+// worker pool — the dispatch coordinator implements it by leasing cells
+// to remote workers. The contract mirrors the local pool exactly:
+// ExecuteCells must call done at most once per cell index (from any
+// goroutine; slots are disjoint), passing the measured statistics and a
+// worker label for event attribution, and must return one error slot per
+// cell — nil for cells whose done call succeeded, the done error
+// otherwise, and ctx.Err() for cells abandoned on cancellation. Replayed
+// cells never reach an executor: the durable engine filters against the
+// campaign journal first, so a resumed campaign re-dispatches only
+// unfinished work.
+type CellExecutor interface {
+	ExecuteCells(ctx context.Context, experiment string, cells []Cell, ids []CellID,
+		done func(i int, st *capture.Stats, worker string) error) []error
+}
+
 // Workers resolves a parallelism knob to a worker count: 0 keeps the
 // serial path, negative values use one worker per CPU, positive values are
 // taken as-is.
@@ -148,17 +164,30 @@ func RunCellsDurable(ctx context.Context, cells []Cell, ids []CellID, workers in
 // cells from the workers as they finish. A nil observer (and a nil
 // journal) degrades to the plain paths unchanged.
 func RunCellsObserved(ctx context.Context, cells []Cell, ids []CellID, workers int, experiment string, j CellJournal, obs Observer) ([]capture.Stats, []error) {
-	if j == nil && obs == nil {
+	return RunCellsDispatched(ctx, cells, ids, workers, experiment, j, obs, nil)
+}
+
+// RunCellsDispatched is RunCellsObserved with an optional CellExecutor:
+// when exec is non-nil, cells not replayed from the journal are handed to
+// the executor instead of the local pool, and the executor's done
+// callback drives the same journal Record and observer emission the local
+// pool would. Results are aggregated by the caller in the same fixed
+// order either way, so a dispatched run is byte-identical to a local one.
+// A nil executor (and nil journal/observer) keeps the plain paths
+// untouched.
+func RunCellsDispatched(ctx context.Context, cells []Cell, ids []CellID, workers int, experiment string, j CellJournal, obs Observer, exec CellExecutor) ([]capture.Stats, []error) {
+	if exec == nil && j == nil && obs == nil {
 		return RunCellsErr(ctx, cells, workers)
 	}
 	if len(ids) != len(cells) {
 		panic(fmt.Sprintf("core: %d ids for %d cells", len(ids), len(cells)))
 	}
-	emit := func(i int, st capture.Stats, replayed bool) {
+	emit := func(i int, st capture.Stats, replayed bool, worker string) {
 		observe(obs, Event{
 			Kind:       EventCell,
 			Experiment: experiment,
 			System:     cells[i].Cfg.Name,
+			Worker:     worker,
 			Point:      ids[i].Point,
 			X:          cells[i].W.TargetRate / 1e6,
 			Rep:        ids[i].Rep,
@@ -174,29 +203,60 @@ func RunCellsObserved(ctx context.Context, cells []Cell, ids []CellID, workers i
 		if j != nil {
 			if out, ok := j.Lookup(cellKey(experiment, cells[i], ids[i])); ok && out.OK {
 				results[i] = out.Stats
-				emit(i, out.Stats, true)
+				emit(i, out.Stats, true, "")
 				continue
 			}
 		}
 		torun = append(torun, cells[i])
 		idx = append(idx, i)
 	}
+	record := func(i int, st *capture.Stats, worker string) error {
+		if j != nil {
+			if err := j.Record(cellKey(experiment, cells[i], ids[i]),
+				CellOutcome{Stats: *st, OK: true, Attempts: 1}); err != nil {
+				return err
+			}
+		}
+		emit(i, *st, false, worker)
+		return nil
+	}
+	if exec != nil {
+		subIDs := make([]CellID, len(idx))
+		for bi, i := range idx {
+			subIDs[bi] = ids[i]
+		}
+		subErrs := exec.ExecuteCells(ctx, experiment, torun, subIDs,
+			func(bi int, st *capture.Stats, worker string) error {
+				i := idx[bi]
+				results[i] = *st
+				return record(i, st, worker)
+			})
+		for bi, i := range idx {
+			if bi < len(subErrs) {
+				errs[i] = subErrs[bi]
+			}
+		}
+		return results, errs
+	}
 	sub, subErrs := runCellsWith(ctx, torun, workers, NewFeedCache(DefaultFeedCacheSize),
 		func(bi int, st *capture.Stats) error {
-			i := idx[bi]
-			if j != nil {
-				if err := j.Record(cellKey(experiment, cells[i], ids[i]),
-					CellOutcome{Stats: *st, OK: true, Attempts: 1}); err != nil {
-					return err
-				}
-			}
-			emit(i, *st, false)
-			return nil
+			return record(idx[bi], st, "")
 		})
 	for bi, i := range idx {
 		results[i], errs[i] = sub[bi], subErrs[bi]
 	}
 	return results, errs
+}
+
+// RunCellsWithCache is RunCellsErr with a caller-owned feed cache, so a
+// dispatch worker measuring successive leases of one experiment reuses
+// its recorded trains across calls instead of regenerating them per
+// lease. A nil cache allocates a private default-sized one.
+func RunCellsWithCache(ctx context.Context, cells []Cell, workers int, feeds *FeedCache) ([]capture.Stats, []error) {
+	if feeds == nil {
+		feeds = NewFeedCache(DefaultFeedCacheSize)
+	}
+	return runCellsWith(ctx, cells, workers, feeds, nil)
 }
 
 // runCellsWith is the pool body shared by RunCellsErr and the resilient
@@ -379,6 +439,16 @@ func sweepPointObserver(obs Observer, experiment string, cfgs []capture.Config, 
 // published deterministically in plotting layout order (see
 // sweepPointObserver). A nil observer keeps the plain durable path.
 func SweepRatesObserved(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, experiment string, j CellJournal, obs Observer) []Series {
+	return SweepRatesDispatched(ctx, cfgs, ratesMbit, w, reps, workers, experiment, j, obs, nil)
+}
+
+// SweepRatesDispatched is SweepRatesObserved with an optional
+// CellExecutor (see RunCellsDispatched): non-replayed cells run wherever
+// the executor puts them, while journaling, point sequencing, and the
+// fixed-order aggregation stay on the caller's side — so the rendered
+// table is byte-identical whether the cells ran in-process or were
+// leased to remote workers.
+func SweepRatesDispatched(ctx context.Context, cfgs []capture.Config, ratesMbit []float64, w Workload, reps, workers int, experiment string, j CellJournal, obs Observer, exec CellExecutor) []Series {
 	if reps <= 0 {
 		reps = 1
 	}
@@ -387,7 +457,7 @@ func SweepRatesObserved(ctx context.Context, cfgs []capture.Config, ratesMbit []
 	if obs != nil {
 		cellObs = sweepPointObserver(obs, experiment, cfgs, ratesMbit, reps, cells, ids)
 	}
-	stats, errs := RunCellsObserved(ctx, cells, ids, workers, experiment, j, cellObs)
+	stats, errs := RunCellsDispatched(ctx, cells, ids, workers, experiment, j, cellObs, exec)
 	for _, err := range errs {
 		if err != nil && !IsCancel(err) {
 			panic(err)

@@ -1,0 +1,167 @@
+// HTTP face of the dispatch protocol, mounted on the same mux as the
+// monitoring API. Three verbs, all campaign-scoped:
+//
+//	POST /api/campaigns/{id}/lease      — request a batch of cells
+//	POST /api/campaigns/{id}/complete   — report a lease's outcomes
+//	POST /api/campaigns/{id}/heartbeat  — keep held leases alive
+//
+// plus GET /api/dispatch for worker discovery (campaign id and
+// fingerprint). Refusals are typed by status: 409 for a fingerprint
+// mismatch (the worker's options hash differently — a worker bug or a
+// misaligned flag set, never retryable), 403 for a quarantined worker,
+// 410 once the campaign is complete, 204 when nothing is leasable right
+// now.
+package dispatch
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// leaseRequest is a worker asking for cells.
+type leaseRequest struct {
+	Worker      string `json:"worker"`
+	Fingerprint string `json:"fingerprint"`
+	Max         int    `json:"max,omitempty"`
+}
+
+// completeRequest reports the outcome of a lease. Records carries the
+// measured cells; Failed lists cells the worker attempted but could not
+// measure (they re-enter the dispatch queue immediately).
+type completeRequest struct {
+	Worker      string         `json:"worker"`
+	Fingerprint string         `json:"fingerprint"`
+	Lease       uint64         `json:"lease"`
+	Records     []Record       `json:"records,omitempty"`
+	Failed      []core.CellKey `json:"failed,omitempty"`
+	Error       string         `json:"error,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// infoResponse answers worker discovery.
+type infoResponse struct {
+	Campaign    string `json:"campaign"`
+	Fingerprint string `json:"fingerprint"`
+	Done        bool   `json:"done"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
+		return false
+	}
+	return true
+}
+
+// Register mounts the dispatch endpoints on mux. The campaign-scoped
+// routes 404 for any campaign id other than the coordinator's own.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.HandleFunc("GET /api/dispatch", c.handleInfo)
+	mux.HandleFunc("POST /api/campaigns/{id}/lease", c.campaignScoped(c.handleLease))
+	mux.HandleFunc("POST /api/campaigns/{id}/complete", c.campaignScoped(c.handleComplete))
+	mux.HandleFunc("POST /api/campaigns/{id}/heartbeat", c.campaignScoped(c.handleHeartbeat))
+}
+
+func (c *Coordinator) campaignScoped(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != c.Campaign {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown campaign"})
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
+	c.mu.Lock()
+	done := c.finished
+	c.mu.Unlock()
+	writeJSON(w, http.StatusOK, infoResponse{
+		Campaign: c.Campaign, Fingerprint: c.Fingerprint, Done: done,
+	})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "worker name required"})
+		return
+	}
+	l, err := c.Lease(req.Worker, req.Fingerprint, req.Max)
+	switch {
+	case err == nil && l == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case err == nil:
+		writeJSON(w, http.StatusOK, l)
+	default:
+		writeJSON(w, leaseStatus(err), errorBody{Error: err.Error()})
+	}
+}
+
+func leaseStatus(err error) int {
+	switch {
+	case IsDone(err):
+		return http.StatusGone
+	case IsQuarantined(err):
+		return http.StatusForbidden
+	default:
+		if _, ok := err.(*FingerprintError); ok {
+			return http.StatusConflict
+		}
+		return http.StatusInternalServerError
+	}
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "worker name required"})
+		return
+	}
+	if err := c.Complete(req.Worker, req.Fingerprint, req.Lease, req.Records, req.Failed); err != nil {
+		if _, ok := err.(*FingerprintError); ok {
+			writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "worker name required"})
+		return
+	}
+	c.Heartbeat(req.Worker)
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -68,6 +68,15 @@ type Options struct {
 	// attach here. A runtime knob, not part of the campaign fingerprint;
 	// observation never changes a result.
 	Observer core.Observer
+	// Executor, when non-nil, hands the cells the durable engines would
+	// run locally to an external executor instead — the dispatch
+	// coordinator leases them to remote workers. Replayed cells never
+	// reach the executor, and the executor's results feed the same
+	// journaling, observation, and fixed-order aggregation, so output
+	// stays byte-identical to a local run. A runtime knob, not part of
+	// the campaign fingerprint. Ignored under -chaos: fault injection
+	// works through process-local hooks that cannot be dispatched.
+	Executor core.CellExecutor
 }
 
 // ctx resolves the cancellation context (nil means "never cancelled").
@@ -274,7 +283,7 @@ func seriesSweep(experiment string, cfgs func() []capture.Config) func(o Options
 		if o.Chaos != 0 {
 			return core.SweepRatesResilient(o.ctx(), sweepCfgs, o.Rates, w, o.Reps, o.Parallelism, o.chaosOptions(experiment))
 		}
-		return core.SweepRatesObserved(o.ctx(), sweepCfgs, o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal, o.Observer)
+		return core.SweepRatesDispatched(o.ctx(), sweepCfgs, o.Rates, w, o.Reps, o.Parallelism, experiment, o.Journal, o.Observer, o.Executor)
 	}
 }
 
@@ -357,7 +366,7 @@ func runCellsMaybeChaos(o Options, experiment string, cells []core.Cell, key fun
 	}
 	obs := observeCellPoints(o.Observer, experiment, cells, ids, xOf)
 	if o.Chaos == 0 {
-		sts, errs := core.RunCellsObserved(o.ctx(), cells, ids, o.Parallelism, experiment, o.Journal, obs)
+		sts, errs := core.RunCellsDispatched(o.ctx(), cells, ids, o.Parallelism, experiment, o.Journal, obs, o.Executor)
 		for _, err := range errs {
 			if err != nil && !core.IsCancel(err) {
 				panic(err)

@@ -118,7 +118,10 @@ func Create(path, fingerprint string) (*Journal, error) {
 		f.Close()
 		return nil, err
 	}
-	syncDir(filepath.Dir(path))
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, err
+	}
 	return j, nil
 }
 
@@ -327,15 +330,21 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
-	syncDir(dir)
-	return nil
+	// The rename is only durable once the parent directory's entry table
+	// reaches disk: a crash before that can silently resurrect the old
+	// file, so a failed directory fsync must surface, not be swallowed.
+	return syncDir(dir)
 }
 
 // syncDir makes a directory entry change (create, rename) durable.
-// Best-effort: some filesystems refuse to fsync directories.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
 	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }

@@ -267,3 +267,17 @@ func TestWriteFileAtomic(t *testing.T) {
 		t.Fatalf("stray files left behind: %v", entries)
 	}
 }
+
+// TestWriteFileAtomicDirSyncError: the rename is only durable once the
+// parent directory entry is synced; a directory that cannot be fsynced
+// (here: gone by rename time) must surface an error, not report a
+// durable write that isn't.
+func TestWriteFileAtomicDirSyncError(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nope")
+	if err := WriteFileAtomic(filepath.Join(dir, "plot.dat"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into a missing directory reported success")
+	}
+	if err := syncDir(dir); err == nil {
+		t.Fatal("syncDir on a missing directory reported success")
+	}
+}

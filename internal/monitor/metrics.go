@@ -30,6 +30,21 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("repro_points_completed_total", "Aggregated measurement points emitted.", c.Points)
 	counter("repro_sniffer_dead_total", "Sniffers declared dead by the supervision layer.", c.SnifferDead)
 	counter("repro_journal_checkpoints_total", "Cells made durable in the campaign journal.", c.Checkpoints)
+	counter("repro_leases_granted_total", "Cell leases granted by the dispatch coordinator.", c.Leases)
+	counter("repro_leases_expired_total", "Leases expired on missed heartbeats or dead workers.", c.LeasesExpired)
+
+	if workers := s.reg.WorkerCells(); len(workers) > 0 {
+		fmt.Fprintf(w, "# HELP repro_worker_cells_completed_total Cells completed per dispatch worker.\n")
+		fmt.Fprintf(w, "# TYPE repro_worker_cells_completed_total counter\n")
+		names := make([]string, 0, len(workers))
+		for n := range workers {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(w, "repro_worker_cells_completed_total{worker=%q} %d\n", n, workers[n])
+		}
+	}
 
 	fmt.Fprintf(w, "# HELP repro_drop_packets_total Packets dropped, by drop cause, summed over completed cells.\n")
 	fmt.Fprintf(w, "# TYPE repro_drop_packets_total counter\n")

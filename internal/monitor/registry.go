@@ -49,14 +49,16 @@ type CampaignInfo struct {
 
 // Counters are the process-wide event tallies behind /metrics.
 type Counters struct {
-	Cells        uint64
-	Replayed     uint64
-	Retries      uint64
-	Quarantined  uint64
-	Points       uint64
-	SnifferDead  uint64
-	Checkpoints  uint64
-	DropsByCause [capture.NumCauses]uint64
+	Cells         uint64
+	Replayed      uint64
+	Retries       uint64
+	Quarantined   uint64
+	Points        uint64
+	SnifferDead   uint64
+	Checkpoints   uint64
+	Leases        uint64
+	LeasesExpired uint64
+	DropsByCause  [capture.NumCauses]uint64
 }
 
 // campaignState is the in-memory record of a campaign observed live on
@@ -94,6 +96,7 @@ type Registry struct {
 	dirOrder  []string
 	cache     map[string]*journalCache
 	counters  Counters
+	workers   map[string]uint64 // dispatch worker → cells completed
 }
 
 // NewRegistry returns an empty registry.
@@ -158,6 +161,16 @@ func (r *Registry) apply(ev core.Event) {
 		r.counters.SnifferDead++
 	case core.EventCheckpoint:
 		r.counters.Checkpoints++
+	case core.EventLease:
+		r.counters.Leases++
+	case core.EventLeaseExpired:
+		r.counters.LeasesExpired++
+	}
+	if ev.Kind == core.EventCell && ev.Worker != "" {
+		if r.workers == nil {
+			r.workers = make(map[string]uint64)
+		}
+		r.workers[ev.Worker]++
 	}
 
 	id := ev.Campaign
@@ -363,4 +376,16 @@ func (r *Registry) Counters() Counters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters
+}
+
+// WorkerCells returns the cells completed per dispatch worker, as
+// observed on the bus (EventCell with a worker attribution).
+func (r *Registry) WorkerCells() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.workers))
+	for k, v := range r.workers {
+		out[k] = v
+	}
+	return out
 }

@@ -2,6 +2,7 @@ package monitor
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -71,8 +72,16 @@ type cellsResponse struct {
 
 func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	offset := queryInt(r, "offset", 0)
-	limit := queryInt(r, "limit", DefaultCellPage)
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", DefaultCellPage)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err)
+		return
+	}
 	if limit > MaxCellPage {
 		limit = MaxCellPage
 	}
@@ -94,14 +103,30 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc.Encode(v)
 }
 
-func queryInt(r *http.Request, key string, def int) int {
+func writeJSONError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// queryInt parses a non-negative integer query parameter. A malformed
+// or negative value is a client error, not a silent fallback to the
+// default: callers answer it with HTTP 400.
+func queryInt(r *http.Request, key string, def int) (int, error) {
 	s := r.URL.Query().Get(key)
 	if s == "" {
-		return def
+		return def, nil
 	}
 	n, err := strconv.Atoi(s)
-	if err != nil || n < 0 {
-		return def
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %q: %q is not an integer", key, s)
 	}
-	return n
+	if n < 0 {
+		return 0, fmt.Errorf("query parameter %q: must not be negative, got %d", key, n)
+	}
+	return n, nil
 }

@@ -296,3 +296,82 @@ func TestStreamJournalBacked(t *testing.T) {
 		t.Fatalf("discovered campaigns = %+v", infos)
 	}
 }
+
+// TestCellsBadPaging: malformed or negative offset/limit are client
+// errors answered with 400 and a JSON error body — not silently
+// replaced with defaults.
+func TestCellsBadPaging(t *testing.T) {
+	h, _, srv := newTestService(t)
+	publishCampaign(h, "camp-paging", 3)
+
+	for _, q := range []string{
+		"offset=abc", "limit=abc", "offset=-1", "limit=-5", "offset=1.5",
+	} {
+		code, body := getBody(t, srv.URL+"/api/campaigns/camp-paging/cells?"+q)
+		if code != http.StatusBadRequest {
+			t.Fatalf("cells?%s = %d, want 400", q, code)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal([]byte(body), &e); err != nil || e.Error == "" {
+			t.Fatalf("cells?%s body = %q, want a JSON error object", q, body)
+		}
+	}
+
+	// Well-formed paging still works.
+	code, body := getBody(t, srv.URL+"/api/campaigns/camp-paging/cells?offset=1&limit=1")
+	if code != 200 {
+		t.Fatalf("good paging = %d, want 200", code)
+	}
+	var page cellsResponse
+	if err := json.Unmarshal([]byte(body), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != 3 || page.Offset != 1 || len(page.Cells) != 1 {
+		t.Fatalf("page = total %d offset %d cells %d, want 3/1/1", page.Total, page.Offset, len(page.Cells))
+	}
+}
+
+// TestWorkerAttributionMetrics: cells carrying a dispatch worker label
+// surface per-worker progress counters, and lease-lifecycle events feed
+// the lease counters.
+func TestWorkerAttributionMetrics(t *testing.T) {
+	h, reg, srv := newTestService(t)
+	h.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: "dist", Detail: "fp"})
+	h.Observe(core.Event{Kind: core.EventLease, Worker: "w1", Detail: "lease 1: 2 cells"})
+	for i := 0; i < 2; i++ {
+		h.Observe(core.Event{Kind: core.EventCell, Experiment: "fig6.2-smp",
+			System: "swan", Point: uint64(i), Worker: "w1",
+			Stats: &capture.Stats{Generated: 10, AppCaptured: []uint64{10}}})
+	}
+	h.Observe(core.Event{Kind: core.EventLeaseExpired, Worker: "w2"})
+	h.Observe(core.Event{Kind: core.EventLease, Worker: "w2"})
+	h.Observe(core.Event{Kind: core.EventCell, Experiment: "fig6.2-smp",
+		System: "swan", Point: 5, Worker: "w2",
+		Stats: &capture.Stats{Generated: 10, AppCaptured: []uint64{10}}})
+
+	c := reg.Counters()
+	if c.Leases != 2 || c.LeasesExpired != 1 {
+		t.Fatalf("lease counters = %d granted / %d expired, want 2/1", c.Leases, c.LeasesExpired)
+	}
+	wc := reg.WorkerCells()
+	if wc["w1"] != 2 || wc["w2"] != 1 {
+		t.Fatalf("worker cells = %v, want w1:2 w2:1", wc)
+	}
+
+	code, body := getBody(t, srv.URL+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"repro_leases_granted_total 2",
+		"repro_leases_expired_total 1",
+		`repro_worker_cells_completed_total{worker="w1"} 2`,
+		`repro_worker_cells_completed_total{worker="w2"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

@@ -43,6 +43,7 @@ type wireEvent struct {
 	Point       uint64  `json:"point,omitempty"`
 	X           float64 `json:"x,omitempty"`
 	Rep         int     `json:"rep,omitempty"`
+	Worker      string  `json:"worker,omitempty"`
 	Attempt     int     `json:"attempt,omitempty"`
 	Replayed    bool    `json:"replayed,omitempty"`
 	Quarantined bool    `json:"quarantined,omitempty"`
@@ -59,8 +60,8 @@ func toWire(ev core.Event) wireEvent {
 	we := wireEvent{
 		Seq: ev.Seq, Kind: ev.Kind.String(), Campaign: ev.Campaign,
 		Experiment: ev.Experiment, System: ev.System, Point: ev.Point,
-		X: ev.X, Rep: ev.Rep, Attempt: ev.Attempt, Replayed: ev.Replayed,
-		Detail: ev.Detail,
+		X: ev.X, Rep: ev.Rep, Worker: ev.Worker, Attempt: ev.Attempt,
+		Replayed: ev.Replayed, Detail: ev.Detail,
 	}
 	if ev.Kind == core.EventQuarantine {
 		we.Quarantined = true
