@@ -8,6 +8,8 @@
 //	experiment -id fig6.2-smp -chaos 42      # fault-injected, supervised
 //	experiment -all -journal run1            # record a durable campaign
 //	experiment -all -journal run1 -resume    # resume after a crash/SIGTERM
+//	experiment -all -journal d -coordinator :0 -workers 3 -netchaos 7 -diskchaos 9
+//	                                         # distributed run under fault injection
 package main
 
 import (
@@ -29,6 +31,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -36,8 +39,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/dispatch"
 	"repro/internal/experiments"
+	"repro/internal/faultfs"
 	"repro/internal/journal"
 	"repro/internal/monitor"
+	"repro/internal/netchaos"
 )
 
 // Exit codes (documented in -h):
@@ -95,6 +100,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		coordAddr  = fs.String("coordinator", "", "run the campaign as a dispatch coordinator: serve the monitoring API plus the lease protocol on this address and shard the campaign's cells across connected -worker processes (requires -journal and -all/-id; the merged result is byte-identical to an undistributed run)")
 		workersN   = fs.Int("workers", 0, "with -coordinator: also start this many in-process workers (a self-contained distributed run, used by CI)")
 		workerAddr = fs.String("worker", "", "run as a dispatch worker against the coordinator at this address: lease cells, measure them, report back; exits 0 when the campaign completes, 2 on a campaign-fingerprint mismatch")
+		netchaosS  = fs.Uint64("netchaos", 0, "seed of the network fault-injection plan: inject latency, drops, partitions, resets, and corrupted responses into the coordinator/worker protocol (requires -coordinator or -worker; the merged result stays byte-identical — chaos only delays and re-dispatches work); 0 = off")
+		diskchaosS = fs.Uint64("diskchaos", 0, "seed of the storage fault-injection plan: inject ENOSPC, EIO, short writes, and fsync failures into the campaign journal's filesystem (requires -journal; appends pause, repair the tail, and retry, so no completion is lost); 0 = off")
 		cpuprofile = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file (written atomically: temp file + rename)")
 		memprofile = fs.String("memprofile", "", "write a pprof heap profile (after a final GC) to this file on exit, written atomically")
 	)
@@ -169,6 +176,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fs.Usage()
 		return exitUsage
 	}
+	if *netchaosS != 0 && *workerAddr == "" && *coordAddr == "" {
+		fmt.Fprintln(stderr, "experiment: -netchaos faults the dispatch protocol; it requires -coordinator or -worker")
+		fs.Usage()
+		return exitUsage
+	}
+	if *diskchaosS != 0 && *journalDir == "" {
+		fmt.Fprintln(stderr, "experiment: -diskchaos faults the campaign journal; it requires -journal <dir>")
+		fs.Usage()
+		return exitUsage
+	}
+
+	// Storage chaos: the campaign journal (and the coordinator's lease
+	// WAL) run on a fault-injecting filesystem. The journal's
+	// truncate-repair-retry append absorbs every planned fault, so the
+	// recorded cells — and therefore the output — are unaffected.
+	var fsys faultfs.FS = faultfs.OS
+	var ffs *faultfs.FaultFS
+	if *diskchaosS != 0 {
+		ffs = faultfs.New(faultfs.OS)
+		ffs.Plan = faultfs.DefaultPlan(*diskchaosS)
+		fsys = ffs
+	}
 
 	// -worker is a whole program of its own: no run mode, no journal, no
 	// monitor — just the lease-measure-complete loop against the
@@ -192,7 +221,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fs.Usage()
 			return exitUsage
 		}
-		return runWorker(ctx, stderr, *workerAddr, o)
+		return runWorker(ctx, stderr, *workerAddr, o, *netchaosS)
 	}
 
 	coordinating := *coordAddr != ""
@@ -221,6 +250,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		}
 		coord = dispatch.New(campaignID(*journalDir), fp)
 		coord.LocalWorkers = *parallel
+		coord.FS = fsys
 	}
 	if *workersN != 0 && !coordinating {
 		fmt.Fprintln(stderr, "experiment: -workers requires -coordinator")
@@ -241,6 +271,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	var hub *monitor.Hub
 	var httpSrv *http.Server
 	var baseURL string // coordinator's own URL, for in-process workers
+	var chaosListener *netchaos.Listener
 	serveOn := *serveAddr
 	if coordinating {
 		serveOn = *coordAddr
@@ -254,11 +285,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			// run (or from a standalone -serve with no run mode at all).
 			reg.AddJournalDir(campaignID(*journalDir), *journalDir)
 		}
-		ln, err := net.Listen("tcp", serveOn)
+		rawLn, err := net.Listen("tcp", serveOn)
 		if err != nil {
 			fmt.Fprintln(stderr, "experiment:", err)
 			return exitRuntime
 		}
+		ln := net.Listener(rawLn)
 		handler := monitor.NewServer(hub, reg).Handler()
 		if coord != nil {
 			// The lease protocol rides the same mux as the monitoring API:
@@ -269,7 +301,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			handler = mux
 			coord.Observer = hub
 		}
-		httpSrv = &http.Server{Handler: handler}
+		if *netchaosS != 0 && coordinating {
+			// Accept-side chaos: a drawn fraction of inbound protocol
+			// connections are reset before the server ever sees them.
+			nl := &netchaos.Listener{
+				Listener: ln, Plan: netchaos.DefaultPlan(*netchaosS),
+				OnFault: func(c netchaos.Class, detail string) {
+					hub.Observe(core.Event{Kind: core.EventChaos, Campaign: campaign(*journalDir),
+						Fault: "net-" + c.String(), Detail: detail})
+				},
+			}
+			chaosListener = nl
+			ln = nl
+		}
+		// ReadHeaderTimeout bounds a half-open or slow-loris client's grip
+		// on a connection; SSE streams are unaffected (it only covers
+		// request headers).
+		httpSrv = &http.Server{Handler: handler, ReadHeaderTimeout: 10 * time.Second}
 		go httpSrv.Serve(ln)
 		defer closeServer(httpSrv)
 		baseURL = "http://" + ln.Addr().String()
@@ -281,14 +329,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		o.Observer = hub
 	}
 
+	// Chaos observability: every injected storage fault becomes an
+	// EventChaos on the bus (when one exists) and a tally in the final
+	// summary; journal repairs are counted separately.
+	var journalRepairs atomic.Uint64
+	if ffs != nil {
+		h := hub
+		cname := campaign(*journalDir)
+		ffs.OnFault = func(op faultfs.Op, path string, err error) {
+			if h != nil {
+				h.Observe(core.Event{Kind: core.EventChaos, Campaign: cname,
+					Fault:  "fs-" + op.String(),
+					Detail: fmt.Sprintf("%s %s: %v", op, filepath.Base(path), err)})
+			}
+		}
+	}
+
 	mode := *list || *all || *id != ""
 	if *journalDir != "" && (*all || *id != "") {
-		c, err := openCampaign(stderr, *journalDir, *resume, o)
+		c, err := openCampaign(stderr, fsys, *journalDir, *resume, o)
 		if err != nil {
 			fmt.Fprintln(stderr, "experiment:", err)
 			return exitRuntime
 		}
 		defer c.Close()
+		if ffs != nil {
+			c.OnAppendRetry(func(err error, attempt int) { journalRepairs.Add(1) })
+		}
 		if hub != nil {
 			// Checkpoint events (one per durably recorded cell) join the feed.
 			c.Observer = hub
@@ -313,12 +380,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	// processes to babysit (CI's favorite shape). External -worker
 	// processes can join alongside at any time.
 	var workerWG sync.WaitGroup
+	var chaosTransports []*netchaos.Transport
 	if coord != nil && *workersN > 0 {
 		wo := o
 		wo.Ctx, wo.Journal, wo.Observer, wo.Executor = nil, nil, nil, nil
 		for i := 1; i <= *workersN; i++ {
 			w := &dispatch.Worker{
 				ID: fmt.Sprintf("local-%d", i), BaseURL: baseURL, Options: wo,
+			}
+			if *netchaosS != 0 {
+				// Each in-process worker talks through its own chaos
+				// transport; Peer salts the draws so the workers see
+				// independent fault schedules from one seed.
+				tr := &netchaos.Transport{
+					Plan: netchaos.DefaultPlan(*netchaosS), Peer: w.ID,
+					OnFault: func(c netchaos.Class, detail string) {
+						hub.Observe(core.Event{Kind: core.EventChaos,
+							Campaign: campaign(*journalDir), Worker: w.ID,
+							Fault: "net-" + c.String(), Detail: detail})
+					},
+				}
+				chaosTransports = append(chaosTransports, tr)
+				w.Client = &http.Client{Timeout: dispatch.DefaultClientTimeout, Transport: tr}
 			}
 			workerWG.Add(1)
 			go func() {
@@ -360,6 +443,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "experiment: dispatch: %d leases granted, %d expired, %d straggler re-dispatches, %d duplicate completions, %d cells run locally\n",
 				st.Granted, st.Expired, st.Redispatched, st.Duplicates, st.LocalCells)
 		}
+	}
+	if *netchaosS != 0 || *diskchaosS != 0 {
+		var netFaults uint64
+		for _, tr := range chaosTransports {
+			netFaults += tr.Injected()
+		}
+		if chaosListener != nil {
+			netFaults += chaosListener.Injected()
+		}
+		var fsFaults uint64
+		if ffs != nil {
+			fsFaults = ffs.Injected()
+		}
+		fmt.Fprintf(stderr, "experiment: chaos: %d network faults injected, %d storage faults injected, %d journal appends repaired and retried\n",
+			netFaults, fsFaults, journalRepairs.Load())
 	}
 	if ctx.Err() != nil {
 		// The interrupt wins over any secondary error: pools have drained,
@@ -427,12 +525,13 @@ func closeServer(s *http.Server) {
 }
 
 // openCampaign creates or resumes the on-disk campaign journal and reports
-// what a resume recovered.
-func openCampaign(stderr io.Writer, dir string, resume bool, o experiments.Options) (*experiments.Campaign, error) {
+// what a resume recovered. fsys is the (possibly fault-injecting)
+// filesystem the journal lives on.
+func openCampaign(stderr io.Writer, fsys faultfs.FS, dir string, resume bool, o experiments.Options) (*experiments.Campaign, error) {
 	if !resume {
-		return experiments.CreateCampaign(dir, o)
+		return experiments.CreateCampaignFS(fsys, dir, o)
 	}
-	c, err := experiments.ResumeCampaign(dir, o)
+	c, err := experiments.ResumeCampaignFS(fsys, dir, o)
 	if err != nil {
 		return nil, err
 	}
@@ -447,7 +546,7 @@ func openCampaign(stderr io.Writer, dir string, resume bool, o experiments.Optio
 // leases until the campaign completes. Exit codes follow the usual
 // contract — a campaign-fingerprint mismatch is a usage error (2): the
 // worker was started with flags that describe a different campaign.
-func runWorker(ctx context.Context, stderr io.Writer, addr string, o experiments.Options) int {
+func runWorker(ctx context.Context, stderr io.Writer, addr string, o experiments.Options, netchaosSeed uint64) int {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
@@ -463,6 +562,18 @@ func runWorker(ctx context.Context, stderr io.Writer, addr string, o experiments
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(stderr, "experiment: "+format+"\n", args...)
 		},
+	}
+	if netchaosSeed != 0 {
+		tr := &netchaos.Transport{
+			Plan: netchaos.DefaultPlan(netchaosSeed), Peer: w.ID,
+			OnFault: func(c netchaos.Class, detail string) {
+				fmt.Fprintf(stderr, "experiment: chaos: %s injected: %s\n", c, detail)
+			},
+		}
+		w.Client = &http.Client{Timeout: dispatch.DefaultClientTimeout, Transport: tr}
+		defer func() {
+			fmt.Fprintf(stderr, "experiment: chaos: %d network faults injected\n", tr.Injected())
+		}()
 	}
 	err := w.Run(ctx)
 	switch {

@@ -494,6 +494,10 @@ func TestRunDistributedFlagConflicts(t *testing.T) {
 			"-id", "fig6.2-smp", "-serve", "127.0.0.1:0"}, "drop -serve"},
 		{"negative workers", []string{"-coordinator", "127.0.0.1:0", "-journal", dir,
 			"-id", "fig6.2-smp", "-workers", "-1"}, "-workers must not be negative"},
+		{"netchaos without dispatch", []string{"-id", "fig6.2-smp", "-netchaos", "7"},
+			"requires -coordinator or -worker"},
+		{"diskchaos without journal", []string{"-id", "fig6.2-smp", "-diskchaos", "9"},
+			"requires -journal"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -554,5 +558,60 @@ func TestRunDistributedByteIdentical(t *testing.T) {
 	}
 	if strings.Contains(rerrb.String(), "leases granted") {
 		t.Fatalf("fully replayed campaign still granted leases:\n%s", rerrb.String())
+	}
+}
+
+// TestRunChaosByteIdentical: a distributed campaign under seeded network
+// AND storage fault injection still produces output byte-identical to a
+// plain undistributed run. Chaos only delays, drops, re-dispatches, and
+// repairs — it never changes a recorded result. The chaos summary line
+// must prove faults were actually injected, or the test is vacuous.
+func TestRunChaosByteIdentical(t *testing.T) {
+	args := []string{"-id", "fig6.2-smp", "-packets", "2000", "-reps", "2",
+		"-rates", "300,900", "-parallel", "2"}
+
+	var plain, perrb bytes.Buffer
+	if code := runBG(args, &plain, &perrb); code != 0 {
+		t.Fatalf("plain run exit %d: %s", code, perrb.String())
+	}
+
+	dir := t.TempDir()
+	dist := append(args, "-journal", dir, "-coordinator", "127.0.0.1:0",
+		"-workers", "3", "-netchaos", "7", "-diskchaos", "8")
+	var out bytes.Buffer
+	var errb syncBuffer
+	if code := run(context.Background(), dist, &out, &errb); code != 0 {
+		t.Fatalf("chaos run exit %d: %s", code, errb.String())
+	}
+	if out.String() != plain.String() {
+		t.Fatalf("chaos-run output differs from undistributed run:\n--- plain\n%s\n--- chaos\n%s",
+			plain.String(), out.String())
+	}
+	var netFaults, fsFaults, repairs int
+	for _, line := range strings.Split(errb.String(), "\n") {
+		if _, rest, ok := strings.Cut(line, "experiment: chaos: "); ok {
+			if n, _ := fmt.Sscanf(rest, "%d network faults injected, %d storage faults injected, %d journal appends repaired",
+				&netFaults, &fsFaults, &repairs); n == 3 {
+				break
+			}
+		}
+	}
+	if netFaults == 0 {
+		t.Fatalf("seed 7 injected no network faults — the chaos run proved nothing:\n%s", errb.String())
+	}
+	if fsFaults == 0 {
+		t.Fatalf("seed 8 injected no storage faults — the chaos run proved nothing:\n%s", errb.String())
+	}
+
+	// The journal a chaos run leaves behind is a healthy campaign: a
+	// chaos-free resume replays every cell and emits the same bytes.
+	out.Reset()
+	resumeArgs := append(args, "-journal", dir, "-resume")
+	var rerrb bytes.Buffer
+	if code := runBG(resumeArgs, &out, &rerrb); code != 0 {
+		t.Fatalf("post-chaos resume exit %d: %s", code, rerrb.String())
+	}
+	if out.String() != plain.String() {
+		t.Fatal("post-chaos resumed output not byte-identical to undistributed run")
 	}
 }

@@ -61,6 +61,11 @@ const (
 	// missed heartbeats or a dead worker — and its unfinished cells went
 	// back to the dispatch queue (Worker set).
 	EventLeaseExpired
+	// EventChaos: the fault-injection harness (netchaos / faultfs) injected
+	// a fault. Fault names the fault class, Worker the affected peer where
+	// known, Detail the operation. Chaos events are observability only —
+	// they never change a campaign's results.
+	EventChaos
 )
 
 // String returns the wire name of the kind (used by the SSE stream and
@@ -91,6 +96,8 @@ func (k EventKind) String() string {
 		return "lease"
 	case EventLeaseExpired:
 		return "lease-expired"
+	case EventChaos:
+		return "chaos"
 	default:
 		return "unknown"
 	}
@@ -131,6 +138,9 @@ type Event struct {
 	// Detail is the human-readable reason/summary (retry cause, checkpoint
 	// note, campaign fingerprint on campaign-start).
 	Detail string
+	// Fault is the injected fault class of an EventChaos ("latency",
+	// "partition", "write-enospc", …). Empty on every other kind.
+	Fault string
 	// Stats is the cell's final statistics (EventCell, EventQuarantine).
 	// A private copy — safe to retain, not to mutate.
 	Stats *capture.Stats

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/capture"
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/journal"
 )
 
@@ -204,6 +205,11 @@ type Coordinator struct {
 	// Observer receives lease-lifecycle events (EventLease,
 	// EventLeaseExpired, straggler EventRetry) — the monitoring hub.
 	Observer core.Observer
+	// FS is the filesystem the lease-table WAL lives on; nil = the real
+	// one. -diskchaos injects storage faults here: the WAL inherits the
+	// journal's truncate-repair and pause-and-retry append, so a full
+	// disk degrades grants to pauses, never to lost lease history.
+	FS faultfs.FS
 
 	// now is the coordinator-monotonic clock; tests inject their own.
 	now func() time.Duration
@@ -292,9 +298,13 @@ func (c *Coordinator) strikeout() int {
 // the coordinator does not reset the retry budget. A resume with no WAL
 // on disk (the campaign's first distributed run) starts a fresh one.
 func (c *Coordinator) OpenWAL(dir string, resume bool) error {
+	fsys := c.FS
+	if fsys == nil {
+		fsys = faultfs.OS
+	}
 	path := filepath.Join(dir, WALFile)
 	if !resume {
-		j, err := journal.Create(path, c.Fingerprint)
+		j, err := journal.CreateFS(fsys, path, c.Fingerprint)
 		if err != nil {
 			return err
 		}
@@ -303,9 +313,9 @@ func (c *Coordinator) OpenWAL(dir string, resume bool) error {
 		c.mu.Unlock()
 		return nil
 	}
-	j, rec, err := journal.Resume(path, c.Fingerprint)
+	j, rec, err := journal.ResumeFS(fsys, path, c.Fingerprint)
 	if os.IsNotExist(err) {
-		j, err = journal.Create(path, c.Fingerprint)
+		j, err = journal.CreateFS(fsys, path, c.Fingerprint)
 		if err != nil {
 			return err
 		}

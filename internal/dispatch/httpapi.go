@@ -63,8 +63,41 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+// Request body caps. Lease and heartbeat requests are tiny; completions
+// carry the measured records of one lease batch and get headroom. A
+// client that streams more than the cap is cut off with 400, not fed to
+// the decoder forever.
+const (
+	maxSmallBody    = 4 << 10
+	maxCompleteBody = 16 << 20
+	// maxLeaseCap bounds the per-lease cell count a request may ask for;
+	// it exists purely as input validation, real batch sizing is the
+	// coordinator's MaxLease.
+	maxLeaseCap = 1 << 16
+)
+
+// validKey sanity-checks a worker-reported cell key. Keys are matched
+// against the coordinator's own enumeration later (unknown keys are
+// dropped there); this guards the obviously-garbage shapes a corrupted
+// or malicious request could carry.
+func validKey(k core.CellKey) string {
+	switch {
+	case k.Experiment == "" || len(k.Experiment) > 128:
+		return "has a bad experiment name"
+	case k.System == "" || len(k.System) > 128:
+		return "has a bad system name"
+	case k.Rep < 0 || k.Rep > 1<<20:
+		return "has an out-of-range rep"
+	default:
+		return ""
+	}
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad request body: %v", err)})
 		return false
 	}
@@ -101,11 +134,15 @@ func (c *Coordinator) handleInfo(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxSmallBody, &req) {
 		return
 	}
 	if req.Worker == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "worker name required"})
+		return
+	}
+	if req.Max < 0 || req.Max > maxLeaseCap {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("max must be in [0,%d]", maxLeaseCap)})
 		return
 	}
 	l, err := c.Lease(req.Worker, req.Fingerprint, req.Max)
@@ -135,12 +172,24 @@ func leaseStatus(err error) int {
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxCompleteBody, &req) {
 		return
 	}
 	if req.Worker == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "worker name required"})
 		return
+	}
+	for _, rec := range req.Records {
+		if bad := validKey(rec.Key); bad != "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "record " + bad})
+			return
+		}
+	}
+	for _, k := range req.Failed {
+		if bad := validKey(k); bad != "" {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "failed cell " + bad})
+			return
+		}
 	}
 	if err := c.Complete(req.Worker, req.Fingerprint, req.Lease, req.Records, req.Failed); err != nil {
 		if _, ok := err.(*FingerprintError); ok {
@@ -155,7 +204,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if !decodeBody(w, r, &req) {
+	if !decodeBody(w, r, maxSmallBody, &req) {
 		return
 	}
 	if req.Worker == "" {

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/core"
@@ -36,12 +37,30 @@ const (
 	// DefaultConnectWait bounds how long a starting worker waits for the
 	// coordinator to answer discovery.
 	DefaultConnectWait = 60 * time.Second
+	// DefaultClientTimeout caps a whole HTTP exchange on the worker's
+	// default client — without it a slow-loris coordinator (or a fault
+	// injector impersonating one) can pin a worker forever.
+	DefaultClientTimeout = 15 * time.Second
+	// DefaultCallTimeout is the per-request context deadline layered
+	// under the client timeout; one protocol call never outlives it.
+	DefaultCallTimeout = 10 * time.Second
+	// DefaultCallRetries is how many times a lease/complete call is
+	// retried in place (with backoff) before the caller's own
+	// miss-handling takes over.
+	DefaultCallRetries = 3
+	// DefaultRetryBackoff is the base backoff between in-place retries;
+	// it doubles per attempt with deterministic jitter.
+	DefaultRetryBackoff = 50 * time.Millisecond
 	// shutdownGrace is how many consecutive transport errors a worker
 	// tolerates after first contact before concluding the coordinator
 	// exited (the normal end of a campaign whose final lease went to
 	// someone else).
 	shutdownGrace = 30
 )
+
+// defaultWorkerClient replaces the old http.DefaultClient fallback,
+// which has no timeout at all.
+var defaultWorkerClient = &http.Client{Timeout: DefaultClientTimeout}
 
 // FingerprintMismatchError is the worker-side typed refusal: this
 // worker's options hash to a different campaign than the coordinator is
@@ -66,11 +85,17 @@ type Worker struct {
 	// worker's own cell runs.
 	Options experiments.Options
 
-	Client      *http.Client  // nil = http.DefaultClient
+	Client      *http.Client  // nil = a shared client with DefaultClientTimeout
 	Poll        time.Duration // 0 = DefaultPoll
 	Heartbeat   time.Duration // 0 = DefaultHeartbeat
 	ConnectWait time.Duration // 0 = DefaultConnectWait
-	MaxCells    int           // per-lease cell cap to request; 0 = coordinator default
+	CallTimeout time.Duration // per-request deadline; 0 = DefaultCallTimeout
+	Retries     int           // in-place retries per call; 0 = DefaultCallRetries, <0 = none
+	Backoff     time.Duration // base retry backoff; 0 = DefaultRetryBackoff
+	// Breaker gates every coordinator call; nil builds one with the
+	// defaults at Run time.
+	Breaker  *Breaker
+	MaxCells int // per-lease cell cap to request; 0 = coordinator default
 	// Log receives progress lines; nil discards them.
 	Log func(format string, args ...any)
 
@@ -78,13 +103,15 @@ type Worker struct {
 	campaign    string
 	sets        map[string]*experiments.CellSet
 	feeds       map[string]*core.FeedCache
+	jitter      uint64 // splitmix64 state for retry jitter, seeded from ID
+	jmu         sync.Mutex
 }
 
 func (w *Worker) client() *http.Client {
 	if w.Client != nil {
 		return w.Client
 	}
-	return http.DefaultClient
+	return defaultWorkerClient
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -106,6 +133,10 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.sets = map[string]*experiments.CellSet{}
 	w.feeds = map[string]*core.FeedCache{}
+	if w.Breaker == nil {
+		w.Breaker = NewBreaker(0, 0)
+	}
+	w.jitter = hash64(w.ID) | 1
 
 	if err := w.awaitCoordinator(ctx); err != nil {
 		return err
@@ -120,14 +151,27 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // awaitCoordinator polls discovery until the coordinator answers,
-// verifying the fingerprint before any lease is requested.
+// verifying the fingerprint before any lease is requested. A mismatch
+// must be seen on consecutive polls before it is believed: a single
+// corrupted response (injected or real) must not permanently turn away
+// a correctly configured worker.
 func (w *Worker) awaitCoordinator(ctx context.Context) error {
 	deadline := time.Now().Add(w.connectWait())
+	mismatches := 0
 	for {
 		info, err := w.discover(ctx)
 		if err == nil {
 			if info.Fingerprint != w.fingerprint {
-				return &FingerprintMismatchError{Mine: w.fingerprint, Theirs: info.Fingerprint}
+				mismatches++
+				if mismatches >= 3 {
+					return &FingerprintMismatchError{Mine: w.fingerprint, Theirs: info.Fingerprint}
+				}
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(w.poll()):
+				}
+				continue
 			}
 			w.campaign = info.Campaign
 			return nil
@@ -167,7 +211,65 @@ func (w *Worker) heartbeat() time.Duration {
 	return DefaultHeartbeat
 }
 
+func (w *Worker) callTimeout() time.Duration {
+	if w.CallTimeout > 0 {
+		return w.CallTimeout
+	}
+	return DefaultCallTimeout
+}
+
+func (w *Worker) retries() int {
+	switch {
+	case w.Retries > 0:
+		return w.Retries
+	case w.Retries < 0:
+		return 0
+	default:
+		return DefaultCallRetries
+	}
+}
+
+func (w *Worker) backoff() time.Duration {
+	if w.Backoff > 0 {
+		return w.Backoff
+	}
+	return DefaultRetryBackoff
+}
+
+// hash64 is FNV-1a, used to seed the per-worker jitter stream so two
+// workers retrying the same outage do not march in lockstep.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// nextJitter draws a deterministic fraction in [0,1) from the worker's
+// splitmix64 stream.
+func (w *Worker) nextJitter() float64 {
+	w.jmu.Lock()
+	defer w.jmu.Unlock()
+	w.jitter += 0x9e3779b97f4a7c15
+	z := w.jitter
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// retryDelay is the backoff before retry attempt (1-based): base·2^(a-1)
+// scaled by a deterministic jitter factor in [0.5, 1.5).
+func (w *Worker) retryDelay(attempt int) time.Duration {
+	d := w.backoff() << uint(attempt-1)
+	return time.Duration(float64(d) * (0.5 + w.nextJitter()))
+}
+
 func (w *Worker) discover(ctx context.Context) (*infoResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, w.callTimeout())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.BaseURL+"/api/dispatch", nil)
 	if err != nil {
 		return nil, err
@@ -211,7 +313,7 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 			return err
 		}
 		var l GrantedLease
-		status, err := w.post(ctx, "lease", leaseRequest{
+		status, err := w.postRetry(ctx, "lease", leaseRequest{
 			Worker: w.ID, Fingerprint: w.fingerprint, Max: w.MaxCells,
 		}, &l)
 		if err != nil {
@@ -245,6 +347,24 @@ func (w *Worker) leaseLoop(ctx context.Context) error {
 		case http.StatusGone:
 			w.logf("worker %s: campaign complete", w.ID)
 			return nil
+		case http.StatusNotFound:
+			// The campaign id may be stale — learned from a corrupted
+			// discovery response, or the coordinator restarted with a new
+			// campaign. Re-discover (fingerprint still must match) and
+			// treat it as a miss.
+			if info, derr := w.discover(ctx); derr == nil && info.Fingerprint == w.fingerprint {
+				w.campaign = info.Campaign
+			}
+			misses++
+			if misses >= shutdownGrace {
+				w.logf("worker %s: campaign unknown to coordinator; giving up", w.ID)
+				return nil
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.poll()):
+			}
 		case http.StatusConflict:
 			return &FingerprintMismatchError{Mine: w.fingerprint}
 		case http.StatusForbidden:
@@ -299,7 +419,7 @@ func (w *Worker) serveLease(ctx context.Context, l *GrantedLease) error {
 		return err // don't report partial work on cancellation; the lease will expire
 	}
 	w.logf("worker %s: lease %d: %d cells measured, %d failed", w.ID, l.ID, len(recs), len(failed))
-	status, err := w.post(ctx, "complete", completeRequest{
+	status, err := w.postRetry(ctx, "complete", completeRequest{
 		Worker: w.ID, Fingerprint: w.fingerprint, Lease: l.ID,
 		Records: recs, Failed: failed,
 	}, nil)
@@ -330,12 +450,33 @@ func (w *Worker) cellSet(id string) (*experiments.CellSet, error) {
 
 // post sends one JSON request to a campaign-scoped endpoint and decodes
 // the response into out when it is 200 and out is non-nil. It returns
-// the HTTP status; transport-level failures return an error.
+// the HTTP status; transport-level failures return an error. Every call
+// runs under its own deadline and through the worker's circuit breaker:
+// an open breaker fails fast with ErrBreakerOpen and no network
+// traffic. Any response from the coordinator — even a 4xx — closes the
+// breaker; transport errors, 5xx, and undecodable 200s open it.
 func (w *Worker) post(ctx context.Context, verb string, body, out any) (int, error) {
+	if w.Breaker != nil && !w.Breaker.Allow() {
+		return 0, fmt.Errorf("dispatch: %s: %w", verb, ErrBreakerOpen)
+	}
+	status, err := w.post1(ctx, verb, body, out)
+	if w.Breaker != nil {
+		if err != nil || status >= 500 {
+			w.Breaker.Failure()
+		} else {
+			w.Breaker.Success()
+		}
+	}
+	return status, err
+}
+
+func (w *Worker) post1(ctx context.Context, verb string, body, out any) (int, error) {
 	payload, err := json.Marshal(body)
 	if err != nil {
 		return 0, err
 	}
+	ctx, cancel := context.WithTimeout(ctx, w.callTimeout())
+	defer cancel()
 	url := fmt.Sprintf("%s/api/campaigns/%s/%s", w.BaseURL, w.campaign, verb)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
 	if err != nil {
@@ -349,10 +490,39 @@ func (w *Worker) post(ctx context.Context, verb string, body, out any) (int, err
 	defer drain(resp)
 	if resp.StatusCode == http.StatusOK && out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, fmt.Errorf("dispatch: %s: undecodable response: %w", verb, err)
 		}
 	}
 	return resp.StatusCode, nil
+}
+
+// postRetry is post with bounded in-place retries: transport errors,
+// 5xx statuses, and undecodable 200 bodies are retried with doubling,
+// jittered backoff. Both calls that use it are idempotent on the
+// coordinator — a replayed lease request just grants a fresh lease (the
+// orphan expires), and replayed completions resolve last-write-wins —
+// so retrying after an ambiguous failure (request may or may not have
+// been processed) is always safe.
+func (w *Worker) postRetry(ctx context.Context, verb string, body, out any) (int, error) {
+	var status int
+	var err error
+	for attempt := 0; ; attempt++ {
+		status, err = w.post(ctx, verb, body, out)
+		if err == nil && status < 500 {
+			return status, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("dispatch: %s: HTTP %d", verb, status)
+		}
+		if attempt >= w.retries() || ctx.Err() != nil {
+			return status, err
+		}
+		select {
+		case <-ctx.Done():
+			return status, ctx.Err()
+		case <-time.After(w.retryDelay(attempt + 1)):
+		}
+	}
 }
 
 func drain(resp *http.Response) {

@@ -13,12 +13,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
 	"runtime/debug"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/faultfs"
 	"repro/internal/journal"
 )
 
@@ -100,14 +100,20 @@ var _ core.CellJournal = (*Campaign)(nil)
 // CreateCampaign starts a fresh campaign journal in dir (created if
 // missing), stamped with o's fingerprint.
 func CreateCampaign(dir string, o Options) (*Campaign, error) {
+	return CreateCampaignFS(faultfs.OS, dir, o)
+}
+
+// CreateCampaignFS is CreateCampaign through an injectable filesystem —
+// the -diskchaos seam.
+func CreateCampaignFS(fsys faultfs.FS, dir string, o Options) (*Campaign, error) {
 	fp, err := Fingerprint(o)
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	j, err := journal.Create(filepath.Join(dir, JournalFile), fp)
+	j, err := journal.CreateFS(fsys, filepath.Join(dir, JournalFile), fp)
 	if err != nil {
 		return nil, err
 	}
@@ -120,11 +126,16 @@ func CreateCampaign(dir string, o Options) (*Campaign, error) {
 // shape — is truncated and reported via the Torn fields, never an error.
 // Duplicate records of one cell are last-write-wins.
 func ResumeCampaign(dir string, o Options) (*Campaign, error) {
+	return ResumeCampaignFS(faultfs.OS, dir, o)
+}
+
+// ResumeCampaignFS is ResumeCampaign through an injectable filesystem.
+func ResumeCampaignFS(fsys faultfs.FS, dir string, o Options) (*Campaign, error) {
 	fp, err := Fingerprint(o)
 	if err != nil {
 		return nil, err
 	}
-	j, rec, err := journal.Resume(filepath.Join(dir, JournalFile), fp)
+	j, rec, err := journal.ResumeFS(fsys, filepath.Join(dir, JournalFile), fp)
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +192,11 @@ func DecodeCellRecord(payload []byte) (core.CellKey, core.CellOutcome, error) {
 	}
 	return cr.Key, cr.Out, nil
 }
+
+// OnAppendRetry registers an observer of the journal's storage-fault
+// pause-and-retry repairs (see journal.Journal.OnRetry): fn runs after a
+// failed cell-record append has been truncated away, before the retry.
+func (c *Campaign) OnAppendRetry(fn func(err error, attempt int)) { c.j.OnRetry(fn) }
 
 // Len reports the number of distinct cells currently recorded.
 func (c *Campaign) Len() int {

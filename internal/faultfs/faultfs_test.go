@@ -1,0 +1,167 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// TestScriptedFaultFires: a scripted fault hits exactly the Nth call of
+// its op — not before, not after — and is consumed.
+func TestScriptedFaultFires(t *testing.T) {
+	dir := t.TempDir()
+	f := New(nil)
+	f.Script(Fault{Op: OpWrite, N: 2, Err: syscall.ENOSPC})
+
+	file, err := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	if _, err := file.Write([]byte("one")); err != nil {
+		t.Fatalf("write 1 should pass: %v", err)
+	}
+	if _, err := file.Write([]byte("two")); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("write 2 = %v, want ENOSPC", err)
+	}
+	if _, err := file.Write([]byte("three")); err != nil {
+		t.Fatalf("write 3 should pass (fault consumed): %v", err)
+	}
+	if f.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", f.Injected())
+	}
+}
+
+// TestPartialWritePersistsPrefix: a Partial fault really leaves a prefix
+// of the buffer in the file — the torn-frame shape — and reports the
+// persisted count.
+func TestPartialWritePersistsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	f := New(nil)
+	f.Script(Fault{Op: OpWrite, N: 1, Err: syscall.ENOSPC, Partial: 0.5})
+
+	file, err := f.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := file.Write([]byte("0123456789"))
+	file.Close()
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("err = %v, want ENOSPC", err)
+	}
+	if n != 5 {
+		t.Fatalf("reported n = %d, want 5", n)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "01234" {
+		t.Fatalf("persisted %q, want the 5-byte prefix", data)
+	}
+}
+
+// TestCrashFreezesFilesystem: after a Crash fault every subsequent
+// operation fails with ErrCrashed and the on-disk state is frozen.
+func TestCrashFreezesFilesystem(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x")
+	f := New(nil)
+	f.Script(Fault{Op: OpSync, N: 1, Crash: true})
+
+	file, err := f.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := file.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := file.Sync(); err == nil || !f.Crashed() {
+		t.Fatalf("sync = %v, crashed = %v; want fault + crash", err, f.Crashed())
+	}
+	if _, err := file.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v, want ErrCrashed", err)
+	}
+	if err := file.Truncate(0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate = %v, want ErrCrashed", err)
+	}
+	if _, err := f.OpenFile(filepath.Join(dir, "y"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v, want ErrCrashed", err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) != "durable" {
+		t.Fatalf("on-disk state not frozen: %q", data)
+	}
+}
+
+// TestPlanDeterministic: two filesystems with the same plan seed inject
+// exactly the same fault sequence over the same op sequence; a different
+// seed diverges somewhere.
+func TestPlanDeterministic(t *testing.T) {
+	sequence := func(seed uint64) []string {
+		dir := t.TempDir()
+		f := New(nil)
+		f.Plan = DefaultPlan(seed)
+		var faults []string
+		f.OnFault = func(op Op, path string, err error) {
+			faults = append(faults, op.String()+":"+err.Error())
+		}
+		file, err := f.OpenFile(filepath.Join(dir, "x"), os.O_CREATE|os.O_RDWR, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer file.Close()
+		for i := 0; i < 200; i++ {
+			file.Write([]byte("0123456789abcdef"))
+			file.Sync()
+		}
+		return faults
+	}
+	a, b, c := sequence(42), sequence(42), sequence(43)
+	if len(a) == 0 {
+		t.Fatal("seed 42 injected nothing over 400 ops — the plan is inert")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different fault counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at fault %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if len(a) == len(c) {
+		same := true
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical fault schedules")
+		}
+	}
+}
+
+// TestIsTransient pins the retry classification: disk-full, I/O errors
+// and short writes clear on retry; a crashed filesystem never does.
+func TestIsTransient(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ENOSPC, true},
+		{syscall.EIO, true},
+		{io.ErrShortWrite, true},
+		{&os.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{ErrCrashed, false},
+		{nil, false},
+		{os.ErrNotExist, false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -30,6 +30,19 @@
 // returned. A torn final record — the expected shape after a crash in
 // mid-append — therefore costs exactly the frames from the tear onward,
 // never the journal.
+//
+// # Storage faults
+//
+// All I/O goes through the faultfs.FS seam (CreateFS/ResumeFS/
+// WriteFileAtomicFS; the plain functions use the real filesystem), so a
+// chaos run can inject ENOSPC, EIO, short writes and crash points.
+// Append is self-healing against transient storage faults: a failed or
+// partial frame write is repaired by truncating back to the last good
+// frame boundary, and the append is retried with bounded backoff —
+// pause-and-retry, never a silently lost record. Only when the budget is
+// exhausted (a genuinely dead disk) does Append fail, and it fails with
+// the underlying typed error (errors.Is ENOSPC/EIO works) so callers can
+// degrade deliberately.
 package journal
 
 import (
@@ -42,6 +55,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"repro/internal/faultfs"
 )
 
 // Magic identifies a journal header frame.
@@ -98,31 +114,87 @@ type Recovery struct {
 	TornBytes int64
 }
 
+// Append-retry defaults: transient storage faults (ENOSPC, EIO, short
+// writes) are repaired and retried with doubling backoff before Append
+// gives up. The total pause is ~Σ delay·2^i ≈ 620 ms — long enough for
+// a hiccuping disk, short enough that a dead one fails fast.
+const (
+	DefaultAppendRetries = 5
+	DefaultRetryDelay    = 20 * time.Millisecond
+)
+
 // Journal is an open, appendable campaign journal. Append is safe for
 // concurrent use: measurement workers record completed cells in parallel.
 type Journal struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    faultfs.File
+	fs   faultfs.FS
 	path string
+	// good is the byte offset of the last durable frame boundary: the
+	// truncation point when a write fails partway through a frame.
+	good int64
+	// retries/retryDelay tune the transient-fault pause-and-retry;
+	// SetRetry overrides, zero values mean the defaults.
+	retries    int
+	retryDelay time.Duration
+	// onRetry, when set, observes every repaired-and-retried append.
+	onRetry func(err error, attempt int)
+}
+
+// SetRetry tunes the transient-append retry budget (n < 0 disables
+// retries entirely; delay 0 keeps the default backoff base).
+func (j *Journal) SetRetry(n int, delay time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.retries = n
+	j.retryDelay = delay
+}
+
+// OnRetry registers an observer of append repairs: fn runs after a
+// failed frame write has been truncated away, before the retry.
+func (j *Journal) OnRetry(fn func(err error, attempt int)) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.onRetry = fn
 }
 
 // Create starts a fresh journal at path (truncating any previous one),
 // writes the fsync'd header frame, and returns the open journal.
 func Create(path, fingerprint string) (*Journal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+	return CreateFS(faultfs.OS, path, fingerprint)
+}
+
+// CreateFS is Create through an injectable filesystem.
+func CreateFS(fsys faultfs.FS, path, fingerprint string) (*Journal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path}
+	j := &Journal{f: f, fs: fsys, path: path}
 	if err := j.appendHeader(fingerprint); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if err := syncDir(filepath.Dir(path)); err != nil {
+	// The directory entry of a fresh journal must be durable too; a
+	// transient fsync fault here gets the same pause-and-retry treatment
+	// as a failed append.
+	if err := retryTransient(func() error { return syncDirFS(fsys, filepath.Dir(path)) }); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return j, nil
+}
+
+// retryTransient runs fn, pausing and retrying on transient storage
+// faults (ENOSPC, EIO, short writes) with the append-retry budget.
+func retryTransient(fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = fn(); err == nil || attempt >= DefaultAppendRetries || !faultfs.IsTransient(err) {
+			return err
+		}
+		time.Sleep(DefaultRetryDelay << uint(attempt))
+	}
 }
 
 // Resume opens an existing journal for replay and further appends: the
@@ -132,18 +204,23 @@ func Create(path, fingerprint string) (*Journal, error) {
 // An empty file (a crash before the header reached the disk) is a valid
 // empty journal: the header is rewritten and no records are returned.
 func Resume(path, fingerprint string) (*Journal, *Recovery, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	return ResumeFS(faultfs.OS, path, fingerprint)
+}
+
+// ResumeFS is Resume through an injectable filesystem.
+func ResumeFS(fsys faultfs.FS, path, fingerprint string) (*Journal, *Recovery, error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	data, err := os.ReadFile(path)
+	data, err := fsys.ReadFile(path)
 	if err != nil {
 		f.Close()
 		return nil, nil, err
 	}
 	payloads, good := scanFrames(data)
 	rec := &Recovery{Torn: good < int64(len(data)), TornBytes: int64(len(data)) - good}
-	j := &Journal{f: f, path: path}
+	j := &Journal{f: f, fs: fsys, path: path, good: good}
 
 	if len(payloads) == 0 {
 		// Nothing durable yet — start over as an empty journal.
@@ -266,10 +343,64 @@ func (j *Journal) appendLocked(payload []byte) error {
 	frame = fmt.Appendf(frame, "%08x ", crc32.ChecksumIEEE(payload))
 	frame = append(frame, payload...)
 	frame = append(frame, '\n')
+
+	retries := j.retries
+	switch {
+	case retries == 0:
+		retries = DefaultAppendRetries
+	case retries < 0:
+		retries = 0
+	}
+	delay := j.retryDelay
+	if delay <= 0 {
+		delay = DefaultRetryDelay
+	}
+
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = j.writeFrameLocked(frame)
+		if err == nil {
+			return nil
+		}
+		// A failed write may have persisted a prefix of the frame: repair
+		// by truncating back to the last good frame boundary, so the
+		// retry (or the next append) never lands after garbage. If the
+		// repair itself fails, the file is beyond in-place recovery —
+		// reopening with Resume will truncate the torn tail instead.
+		if rerr := j.repairLocked(); rerr != nil {
+			return fmt.Errorf("journal: append failed (%w) and tail repair failed: %v", err, rerr)
+		}
+		if attempt >= retries || !faultfs.IsTransient(err) {
+			return fmt.Errorf("journal: append failed after %d attempts: %w", attempt+1, err)
+		}
+		if j.onRetry != nil {
+			j.onRetry(err, attempt+1)
+		}
+		time.Sleep(delay << uint(attempt))
+	}
+}
+
+// writeFrameLocked appends one frame and fsyncs it, advancing the good
+// boundary only when both succeed.
+func (j *Journal) writeFrameLocked(frame []byte) error {
 	if _, err := j.f.Write(frame); err != nil {
 		return err
 	}
-	return j.f.Sync()
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.good += int64(len(frame))
+	return nil
+}
+
+// repairLocked truncates the file back to the last durable frame
+// boundary after a failed append, discarding any partial frame bytes.
+func (j *Journal) repairLocked() error {
+	if err := j.f.Truncate(j.good); err != nil {
+		return err
+	}
+	_, err := j.f.Seek(j.good, 0)
+	return err
 }
 
 // Path returns the journal's file path.
@@ -306,12 +437,20 @@ func Fingerprint(v any, extra ...string) (string, error) {
 // old file or the new one, never a truncated artifact (a half-written
 // .dat file is exactly what gnuplot chokes on).
 func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return WriteFileAtomicFS(faultfs.OS, path, data, perm)
+}
+
+// WriteFileAtomicFS is WriteFileAtomic through an injectable
+// filesystem. On every failure path the destination is untouched (the
+// old content, or absence, survives intact) and the temporary file is
+// removed.
+func WriteFileAtomicFS(fsys faultfs.FS, path string, data []byte, perm os.FileMode) error {
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-")
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		return err
@@ -327,18 +466,18 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return err
 	}
 	// The rename is only durable once the parent directory's entry table
 	// reaches disk: a crash before that can silently resurrect the old
 	// file, so a failed directory fsync must surface, not be swallowed.
-	return syncDir(dir)
+	return syncDirFS(fsys, dir)
 }
 
-// syncDir makes a directory entry change (create, rename) durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+// syncDirFS makes a directory entry change (create, rename) durable.
+func syncDirFS(fsys faultfs.FS, dir string) error {
+	d, err := fsys.Open(dir)
 	if err != nil {
 		return err
 	}

@@ -6,7 +6,12 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/faultfs"
 )
 
 type rec struct {
@@ -277,7 +282,193 @@ func TestWriteFileAtomicDirSyncError(t *testing.T) {
 	if err := WriteFileAtomic(filepath.Join(dir, "plot.dat"), []byte("x"), 0o644); err == nil {
 		t.Fatal("write into a missing directory reported success")
 	}
-	if err := syncDir(dir); err == nil {
+	if err := syncDirFS(faultfs.OS, dir); err == nil {
 		t.Fatal("syncDir on a missing directory reported success")
+	}
+}
+
+// TestAppendRepairsTransientFault: a partial frame write (injected
+// ENOSPC halfway through the frame) is repaired in place — truncate back
+// to the last good boundary — and retried, so Append succeeds, the
+// observer sees the repair, and a later Resume finds a clean journal
+// with every record intact.
+func TestAppendRepairsTransientFault(t *testing.T) {
+	path := tmpJournal(t)
+	ffs := faultfs.New(nil)
+	// Frame writes: header is OpWrite #1, record 0 is #2, record 1 is #3.
+	ffs.Script(faultfs.Fault{Op: faultfs.OpWrite, N: 3, Err: syscall.ENOSPC, Partial: 0.5})
+
+	j, err := CreateFS(ffs, path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var repairs int
+	j.OnRetry(func(err error, attempt int) {
+		if !errors.Is(err, syscall.ENOSPC) {
+			t.Errorf("repair observer got %v, want ENOSPC", err)
+		}
+		repairs++
+	})
+	j.SetRetry(0, time.Millisecond)
+	for i := 0; i < 3; i++ {
+		if err := j.Append(rec{K: "x", N: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	j.Close()
+	if repairs != 1 {
+		t.Fatalf("repairs = %d, want 1", repairs)
+	}
+	if ffs.Injected() != 1 {
+		t.Fatalf("injected = %d, want 1", ffs.Injected())
+	}
+
+	_, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv.Torn {
+		t.Fatalf("repaired journal reports torn (%d bytes)", rv.TornBytes)
+	}
+	if len(rv.Records) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(rv.Records))
+	}
+}
+
+// TestAppendCrashPartialFrameRecovery: an ENOSPC that persists half a
+// frame and then freezes the filesystem (the crash-point shape) defeats
+// the in-place repair — but reopening the journal after the "reboot"
+// truncates the torn tail and recovers every previously durable record.
+func TestAppendCrashPartialFrameRecovery(t *testing.T) {
+	path := tmpJournal(t)
+	ffs := faultfs.New(nil)
+	ffs.Script(faultfs.Fault{Op: faultfs.OpWrite, N: 3, Err: syscall.ENOSPC, Partial: 0.6, Crash: true})
+
+	j, err := CreateFS(ffs, path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(rec{K: "x", N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	err = j.Append(rec{K: "x", N: 1})
+	if err == nil {
+		t.Fatal("append on a crashed filesystem reported success")
+	}
+	if !strings.Contains(err.Error(), "tail repair failed") {
+		t.Fatalf("err = %v, want the repair-failed shape", err)
+	}
+	j.Close()
+
+	// The partial frame really is on disk — the recovery path must earn
+	// its keep, not be handed a clean file.
+	data, _ := os.ReadFile(path)
+	if data[len(data)-1] == '\n' {
+		t.Fatal("test setup: no torn partial frame on disk")
+	}
+
+	// "Reboot": reopen through a healthy filesystem.
+	j2, rv, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rv.Torn || rv.TornBytes == 0 {
+		t.Fatalf("torn tail not reported: %+v", rv)
+	}
+	if len(rv.Records) != 1 {
+		t.Fatalf("recovered %d records, want 1", len(rv.Records))
+	}
+	if err := j2.Append(rec{K: "x", N: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, rv2, err := Resume(path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv2.Torn || len(rv2.Records) != 2 {
+		t.Fatalf("post-recovery journal unhealthy: torn=%v records=%d", rv2.Torn, len(rv2.Records))
+	}
+}
+
+// TestAppendTypedErrorWhenExhausted: with retries disabled the append
+// fails immediately and the underlying errno survives the wrapping, so
+// callers can errors.Is on ENOSPC/EIO and degrade deliberately.
+func TestAppendTypedErrorWhenExhausted(t *testing.T) {
+	path := tmpJournal(t)
+	ffs := faultfs.New(nil)
+	ffs.Script(faultfs.Fault{Op: faultfs.OpWrite, N: 2, Err: syscall.ENOSPC})
+
+	j, err := CreateFS(ffs, path, "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	j.SetRetry(-1, 0)
+	err = j.Append(rec{K: "x", N: 0})
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("append error %v does not unwrap to ENOSPC", err)
+	}
+	// The repair ran: the journal is still usable once the fault clears.
+	j.SetRetry(0, 0)
+	if err := j.Append(rec{K: "x", N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	_, rv, err := ResumeFS(faultfs.OS, path, "fp")
+	if err != nil || len(rv.Records) != 1 || rv.Torn {
+		t.Fatalf("post-failure journal: records=%d torn=%v err=%v", len(rv.Records), rv.Torn, err)
+	}
+}
+
+// TestWriteFileAtomicFaultPaths: whichever step fails — the temp-file
+// write, the rename, or the directory fsync — the destination either
+// keeps its old content or atomically has the new one, and no temp file
+// survives.
+func TestWriteFileAtomicFaultPaths(t *testing.T) {
+	cases := []struct {
+		name  string
+		fault faultfs.Fault
+		// wantOld: destination must still hold the old content after the
+		// failed write (false = either old or new is acceptable — the dir
+		// fsync failure happens after the rename).
+		wantOld bool
+	}{
+		{"tmp write fails", faultfs.Fault{Op: faultfs.OpWrite, N: 1, Err: syscall.ENOSPC, Partial: 0.5}, true},
+		{"tmp fsync fails", faultfs.Fault{Op: faultfs.OpSync, N: 1, Err: syscall.EIO}, true},
+		{"rename fails", faultfs.Fault{Op: faultfs.OpRename, N: 1, Err: syscall.EIO}, true},
+		{"dir fsync fails", faultfs.Fault{Op: faultfs.OpSync, N: 2, Err: syscall.EIO}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "plot.dat")
+			if err := os.WriteFile(path, []byte("old"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			ffs := faultfs.New(nil)
+			ffs.Script(c.fault)
+			err := WriteFileAtomicFS(ffs, path, []byte("new content"), 0o644)
+			if err == nil {
+				t.Fatal("faulted write reported success")
+			}
+			got, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatalf("destination vanished: %v", rerr)
+			}
+			if c.wantOld && string(got) != "old" {
+				t.Fatalf("destination corrupted: %q", got)
+			}
+			if !c.wantOld && string(got) != "old" && string(got) != "new content" {
+				t.Fatalf("destination neither old nor new: %q", got)
+			}
+			entries, _ := os.ReadDir(dir)
+			if len(entries) != 1 {
+				names := make([]string, 0, len(entries))
+				for _, e := range entries {
+					names = append(names, e.Name())
+				}
+				t.Fatalf("temp files left behind: %v", names)
+			}
+		})
 	}
 }

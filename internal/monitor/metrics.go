@@ -52,6 +52,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "repro_drop_packets_total{cause=%q} %d\n", cause.String(), c.DropsByCause[cause])
 	}
 
+	if len(c.Chaos) > 0 {
+		fmt.Fprintf(w, "# HELP repro_chaos_injected_total Faults injected by the chaos harness, by fault class.\n")
+		fmt.Fprintf(w, "# TYPE repro_chaos_injected_total counter\n")
+		faults := make([]string, 0, len(c.Chaos))
+		for f := range c.Chaos {
+			faults = append(faults, f)
+		}
+		sort.Strings(faults)
+		for _, f := range faults {
+			fmt.Fprintf(w, "repro_chaos_injected_total{fault=%q} %d\n", f, c.Chaos[f])
+		}
+	}
+
 	counter("repro_bus_events_published_total", "Events published on the monitoring bus.", s.hub.Published())
 	gauge("repro_bus_subscribers", "Current bus subscribers.", uint64(s.hub.Subscribers()))
 

@@ -59,6 +59,10 @@ type Counters struct {
 	Leases        uint64
 	LeasesExpired uint64
 	DropsByCause  [capture.NumCauses]uint64
+	// Chaos tallies injected faults by class label ("latency",
+	// "write-enospc", …), fed by EventChaos. Nil until the first
+	// injection.
+	Chaos map[string]uint64
 }
 
 // campaignState is the in-memory record of a campaign observed live on
@@ -165,6 +169,15 @@ func (r *Registry) apply(ev core.Event) {
 		r.counters.Leases++
 	case core.EventLeaseExpired:
 		r.counters.LeasesExpired++
+	case core.EventChaos:
+		if r.counters.Chaos == nil {
+			r.counters.Chaos = make(map[string]uint64)
+		}
+		fault := ev.Fault
+		if fault == "" {
+			fault = "unknown"
+		}
+		r.counters.Chaos[fault]++
 	}
 	if ev.Kind == core.EventCell && ev.Worker != "" {
 		if r.workers == nil {
@@ -371,11 +384,20 @@ func (r *Registry) Snapshot(id string) ([]core.Event, bool) {
 	return append([]core.Event(nil), st.events...), true
 }
 
-// Counters returns a copy of the process-wide event tallies.
+// Counters returns a copy of the process-wide event tallies. The Chaos
+// map is deep-copied: the struct copy alone would alias the registry's
+// live map.
 func (r *Registry) Counters() Counters {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.counters
+	c := r.counters
+	if r.counters.Chaos != nil {
+		c.Chaos = make(map[string]uint64, len(r.counters.Chaos))
+		for k, v := range r.counters.Chaos {
+			c.Chaos[k] = v
+		}
+	}
+	return c
 }
 
 // WorkerCells returns the cells completed per dispatch worker, as

@@ -2,10 +2,12 @@ package monitor
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -115,6 +117,10 @@ func TestCampaignsAndCells(t *testing.T) {
 func TestMetrics(t *testing.T) {
 	h, _, srv := newTestService(t)
 	publishCampaign(h, "camp1", 3)
+	// Injected chaos faults surface as a labeled counter.
+	h.Observe(core.Event{Kind: core.EventChaos, Fault: "net-reset"})
+	h.Observe(core.Event{Kind: core.EventChaos, Fault: "net-reset"})
+	h.Observe(core.Event{Kind: core.EventChaos, Fault: "fs-write"})
 	// A stalled subscriber accumulates drops that /metrics must expose.
 	stalled := h.Subscribe("stalled", 2)
 	defer h.Unsubscribe(stalled)
@@ -132,6 +138,8 @@ func TestMetrics(t *testing.T) {
 		`repro_drop_packets_total{cause="nic-ring"} 30`,
 		`repro_drop_packets_total{cause="bpf-buffer"} 0`,
 		`repro_bus_events_dropped_total{subscriber="stalled"} 8`,
+		`repro_chaos_injected_total{fault="fs-write"} 1`,
+		`repro_chaos_injected_total{fault="net-reset"} 2`,
 		"repro_bus_subscribers 1",
 		"repro_goroutines",
 		"repro_heap_alloc_bytes",
@@ -373,5 +381,69 @@ func TestWorkerAttributionMetrics(t *testing.T) {
 		if !strings.Contains(body, want) {
 			t.Fatalf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+// TestStreamClientResetReleasesSubscriber: an SSE client that vanishes
+// mid-event — connection reset, no clean EOF — must not leak its hub
+// subscription (which would grow the ring forever) or its handler
+// goroutine.
+func TestStreamClientResetReleasesSubscriber(t *testing.T) {
+	h, _, srv := newTestService(t)
+	h.Observe(core.Event{Kind: core.EventCampaignStart, Campaign: "camp1", Detail: "fp"})
+	for i := 0; i < 3; i++ {
+		h.Observe(core.Event{Kind: core.EventCell, System: "swan", Rep: i})
+	}
+	baseline := h.Subscribers()
+
+	before := runtime.NumGoroutine()
+	const clients = 5
+	for c := 0; c < clients; c++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/api/campaigns/camp1/stream", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Read partway into the replay, then kill the connection without
+		// reading the rest — the handler is mid-stream.
+		buf := make([]byte, 64)
+		if _, err := io.ReadFull(resp.Body, buf); err != nil {
+			t.Fatalf("client %d: stream never started: %v", c, err)
+		}
+		cancel()
+		resp.Body.Close()
+	}
+
+	// The handlers notice the disconnect (context cancellation) and
+	// unsubscribe; no events need to flow for that to happen.
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Subscribers() != baseline {
+		if time.Now().After(deadline) {
+			t.Fatalf("subscribers = %d after %d client resets, want %d",
+				h.Subscribers(), clients, baseline)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Publishing still works and reaches nobody stale.
+	h.Observe(core.Event{Kind: core.EventCell, System: "swan", Rep: 99})
+	for d, n := range h.Drops() {
+		if strings.HasPrefix(d, "sse:") && n > 0 {
+			// Drops on a dead subscriber would mean it is still registered.
+			t.Fatalf("dead SSE subscriber %q still accumulating drops (%d)", d, n)
+		}
+	}
+
+	// Handler goroutines wind down too (allow scheduler slack).
+	deadline = time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, baseline %d: SSE handlers leaked", runtime.NumGoroutine(), before)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }

@@ -49,6 +49,7 @@ type wireEvent struct {
 	Quarantined bool    `json:"quarantined,omitempty"`
 	Degraded    bool    `json:"degraded,omitempty"`
 	Detail      string  `json:"detail,omitempty"`
+	Fault       string  `json:"fault,omitempty"`
 	RatePct     float64 `json:"ratePct,omitempty"`
 	CPUPct      float64 `json:"cpuPct,omitempty"`
 	Generated   uint64  `json:"generated,omitempty"`
@@ -61,7 +62,7 @@ func toWire(ev core.Event) wireEvent {
 		Seq: ev.Seq, Kind: ev.Kind.String(), Campaign: ev.Campaign,
 		Experiment: ev.Experiment, System: ev.System, Point: ev.Point,
 		X: ev.X, Rep: ev.Rep, Worker: ev.Worker, Attempt: ev.Attempt,
-		Replayed: ev.Replayed, Detail: ev.Detail,
+		Replayed: ev.Replayed, Detail: ev.Detail, Fault: ev.Fault,
 	}
 	if ev.Kind == core.EventQuarantine {
 		we.Quarantined = true
