@@ -93,6 +93,8 @@ func BenchmarkExtModeration(b *testing.B)    { benchExperiment(b, "ext-moderatio
 func BenchmarkAblHousekeeping(b *testing.B)  { benchExperiment(b, "abl-housekeeping") }
 func BenchmarkAblFSBContention(b *testing.B) { benchExperiment(b, "abl-contention") }
 
+func BenchmarkExtModern(b *testing.B) { benchExperiment(b, "ext-modern") }
+
 // --- microbenchmarks of the building blocks -------------------------------
 
 func BenchmarkBPFRunReferenceFilter(b *testing.B) {
@@ -176,6 +178,22 @@ func BenchmarkSimulatedCaptureRun(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		st := Run(Moorhen(), w)
+		if st.Generated == 0 {
+			b.Fatal("no packets")
+		}
+	}
+}
+
+// BenchmarkPollModeCaptureRun exercises the batched poll-mode path at a
+// multi-gigabit rate: busy-spin PMD cores, RSS ring service in bursts,
+// zero-copy app ring reads. Tier-1 in the bench gate — the idle-poll
+// loop makes event volume sensitive to scheduler regressions.
+func BenchmarkPollModeCaptureRun(b *testing.B) {
+	w := Workload{Packets: 5000, TargetRate: 25000e6, Seed: 1,
+		Flows: 256, LineRate: 100e9, GenCostNS: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := Run(Osprey(), w)
 		if st.Generated == 0 {
 			b.Fatal("no packets")
 		}

@@ -49,7 +49,7 @@ import (
 // that happens to match the bench regexes is recorded but not gated.
 var tier1 = []string{
 	"EventQueue", "Schedule", "Cancel", "RunDense", "RunSparse",
-	"SweepSerial", "SweepParallel", "SimulatedCaptureRun",
+	"SweepSerial", "SweepParallel", "SimulatedCaptureRun", "PollModeCaptureRun",
 }
 
 // benchSet is one `go test -bench` invocation: which package, which
@@ -68,7 +68,7 @@ type benchSet struct {
 
 var benchSets = []benchSet{
 	{pkg: "./internal/sim/", bench: "^(BenchmarkEventQueue|BenchmarkSchedule|BenchmarkCancel|BenchmarkRunDense|BenchmarkRunSparse)$", time: "0.5s"},
-	{pkg: ".", bench: "^(BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSimulatedCaptureRun)$", time: "3x"},
+	{pkg: ".", bench: "^(BenchmarkSweepSerial|BenchmarkSweepParallel|BenchmarkSimulatedCaptureRun|BenchmarkPollModeCaptureRun)$", time: "3x"},
 }
 
 type metrics struct {

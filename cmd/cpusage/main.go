@@ -21,10 +21,10 @@ import (
 
 func main() {
 	var (
-		system  = flag.String("system", "moorhen", "system under test: swan|snipe|moorhen|flamingo")
+		system  = flag.String("system", "moorhen", "system under test: swan|snipe|moorhen|flamingo|heron|osprey|kite")
 		rate    = flag.Float64("rate", 800, "data rate in Mbit/s")
 		packets = flag.Int("packets", 100_000, "packets per run")
-		ncpu    = flag.Int("cpus", 2, "number of CPUs (1 = no SMP)")
+		ncpu    = flag.Int("cpus", 0, "number of CPUs (1 = no SMP; 0 = the system's default: 2 for the 2005 hosts, 8 for the modern ones)")
 		bigBuf  = flag.Bool("bigbuf", true, "use the increased buffer sizes of §6.3.1")
 		machine = flag.Bool("o", false, "machine-readable output (colon separated)")
 		limit   = flag.Float64("l", 0, "record averages only while idle is below this limit")
@@ -49,11 +49,21 @@ func run(system string, rate float64, packets, ncpu int, bigBuf, machine bool, l
 		cfg = core.Moorhen()
 	case "flamingo":
 		cfg = core.Flamingo()
+	case "heron":
+		cfg = core.Heron()
+	case "osprey":
+		cfg = core.Osprey()
+	case "kite":
+		cfg = core.Kite()
 	default:
 		return fmt.Errorf("unknown system %q", system)
 	}
-	cfg.NumCPUs = ncpu
-	if bigBuf {
+	if ncpu > 0 {
+		cfg.NumCPUs = ncpu
+	}
+	// The modern systems already default to modern-sized buffers; -bigbuf
+	// applies the thesis's §6.3.1 increase to the 2005 stacks only.
+	if bigBuf && cfg.Stack == capture.StackLegacy {
 		if cfg.OS == capture.Linux {
 			cfg.BufferBytes = capture.BigLinuxRcvbuf
 		} else {
@@ -61,6 +71,12 @@ func run(system string, rate float64, packets, ncpu int, bigBuf, machine bool, l
 		}
 	}
 	w := core.Workload{Packets: packets, TargetRate: rate * 1e6, Seed: seed}
+	if cfg.Stack != capture.StackLegacy {
+		// A 2005-class sender cannot source a multi-gigabit sweep.
+		w.Flows = 256
+		w.LineRate = 100e9
+		w.GenCostNS = 20
+	}
 	sys := capture.NewSystem(core.Prepare(cfg, w))
 	// The sampling interval is time-compressed with the run, like every
 	// other OS time constant.

@@ -94,6 +94,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit NDJSON run records instead of tables (experiments without a series form are skipped)")
 		chaos      = fs.Uint64("chaos", 0, "seed of the fault-injection plan: run sweeps under the resilient supervisor (validation, retry, quarantine, outlier rejection) and append the chaos bookkeeping; 0 = off")
 		policy     = fs.String("policy", "", "sampling/load-shedding policy for every capturing application: none, uniform:N, flow:N, adaptive[:T] (shed packets are booked under shed-* ledger causes, not lost; part of the campaign fingerprint)")
+		rings      = fs.String("rings", "", "comma-separated RX ring counts for the modern-stack sweep ext-modern (default 2,4; part of the campaign fingerprint)")
 		journalDir = fs.String("journal", "", "record completed measurement cells in a crash-safe campaign journal in this directory")
 		resume     = fs.Bool("resume", false, "resume the campaign journal in -journal: replay recorded cells, measure the rest (output is byte-identical to an uninterrupted run)")
 		serveAddr  = fs.String("serve", "", "serve the live monitoring API (campaign listing, SSE event stream, Prometheus /metrics) on this address while the campaign runs; with no run mode it serves standalone over the -journal directory until interrupted")
@@ -157,6 +158,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				return exitUsage
 			}
 			o.Rates = append(o.Rates, v)
+		}
+	}
+	if *rings != "" {
+		for _, f := range strings.Split(*rings, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(stderr, "experiment: bad ring count %q (ring counts must be positive integers)\n", strings.TrimSpace(f))
+				return exitUsage
+			}
+			o.Rings = append(o.Rings, v)
 		}
 	}
 	if *policy != "" {

@@ -60,6 +60,14 @@ type Profile struct {
 	// writing.
 	DiskWriteMBps    float64
 	DiskCPUPerByteNS float64
+
+	// PCIeGbps and MemBWGbps cap the NIC→host DMA ingest rate (practical
+	// PCIe slot bandwidth and memory write bandwidth, in Gbit/s); the
+	// smaller of the two is the ceiling. 0 means no modeled ceiling — the
+	// 2005 profiles, whose GigE NIC cannot come near the PCI-X bus. At
+	// 40/100G the bus, not the CPU, is often the first wall.
+	PCIeGbps  float64
+	MemBWGbps float64
 }
 
 // Opteron244 models swan/moorhen: dual AMD Opteron 244 (1.8 GHz, AMD 8111,
@@ -97,6 +105,55 @@ func Xeon306() Profile {
 		HTSlowdown:        1.75,
 		DiskWriteMBps:     88,
 		DiskCPUPerByteNS:  3.0,
+	}
+}
+
+// XeonScalable models a ~2019 capture host: Intel Xeon Scalable (Cascade
+// Lake class), many cores, fast syscalls and interrupts relative to
+// Netburst, DDR4, NVMe — but a 100G NIC in a PCIe 3.0 x8 slot, whose
+// ~63 Gbit/s practical bandwidth is the binding ceiling at 100G. The
+// constants are calibration anchors like the 2005 profiles: chosen so the
+// modern sweeps (EXPERIMENTS.md "Modern capture stacks") place the
+// bottlenecks where the post-2005 literature reports them.
+func XeonScalable() Profile {
+	return Profile{
+		Name:              "Intel Xeon Scalable",
+		FixedCost:         0.16, // ~6x the Opteron's per-op throughput
+		MemNsPerByte:      0.05, // ≈20 GB/s effective single-stream copy
+		MemContention:     1.15, // shared LLC/mesh, mild
+		CacheBytes:        32 << 20,
+		CachePenalty:      1.35,
+		ZlibNsPerByteL3:   4.0,
+		ZlibNsPerByteL9:   28.0,
+		HasHyperthreading: true,
+		HTSlowdown:        1.25,
+		DiskWriteMBps:     1800, // NVMe
+		DiskCPUPerByteNS:  0.25,
+		PCIeGbps:          63,  // PCIe 3.0 x8, practical
+		MemBWGbps:         300, // DDR4-2666, 6 channels, write-side share
+	}
+}
+
+// EpycRome models a ~2020 AMD EPYC Rome capture host: point-to-point
+// memory (no shared-bus contention to speak of), and a PCIe 4.0 x8 slot
+// whose ~126 Gbit/s keeps the bus ahead of a 100G NIC — on this host the
+// wall moves back to the cores.
+func EpycRome() Profile {
+	return Profile{
+		Name:              "AMD EPYC Rome",
+		FixedCost:         0.15,
+		MemNsPerByte:      0.045,
+		MemContention:     1.05,
+		CacheBytes:        16 << 20, // per-CCX L3 slice
+		CachePenalty:      1.3,
+		ZlibNsPerByteL3:   3.8,
+		ZlibNsPerByteL9:   26.0,
+		HasHyperthreading: true,
+		HTSlowdown:        1.25,
+		DiskWriteMBps:     2000,
+		DiskCPUPerByteNS:  0.22,
+		PCIeGbps:          126, // PCIe 4.0 x8, practical
+		MemBWGbps:         340,
 	}
 }
 

@@ -13,6 +13,8 @@
 package capture
 
 import (
+	"fmt"
+
 	"repro/internal/arch"
 	"repro/internal/bpf"
 	"repro/internal/sim"
@@ -31,6 +33,42 @@ func (o OS) String() string {
 		return "Linux"
 	}
 	return "FreeBSD"
+}
+
+// StackKind selects the generation of the receive path. The zero value is
+// the thesis-era interrupt-driven stack chosen by Config.OS; the modern
+// kinds replace the single-queue NIC with an RSS multi-queue NIC
+// (nic_rss.go) and one of the post-2005 delivery disciplines (modern.go).
+type StackKind int
+
+const (
+	// StackLegacy: the 2005 interrupt-per-packet stack (Linux PF_PACKET or
+	// FreeBSD BPF, per Config.OS).
+	StackLegacy StackKind = iota
+	// StackRSS: RSS multi-queue NIC + per-ring NAPI (interrupt + polled
+	// softirq budget), per-packet copy to user space.
+	StackRSS
+	// StackPoll: DPDK-style poll-mode driver — busy-spinning cores, no
+	// interrupts, batched ring polls, zero-copy hand-off.
+	StackPoll
+	// StackZeroCopy: AF_XDP-style zero-copy — IRQ-driven XDP redirect into
+	// per-socket rings over a shared UMEM frame pool, batched wakeups.
+	StackZeroCopy
+)
+
+func (k StackKind) String() string {
+	switch k {
+	case StackLegacy:
+		return "legacy"
+	case StackRSS:
+		return "rss"
+	case StackPoll:
+		return "pollmode"
+	case StackZeroCopy:
+		return "zerocopy"
+	default:
+		return fmt.Sprintf("stack(%d)", int(k))
+	}
 }
 
 // Costs are the nanosecond cost constants of the kernel paths, before the
@@ -97,6 +135,22 @@ type Costs struct {
 	// Filtering.
 	FilterPerInstrNS float64 // one BPF instruction in kernel context
 
+	// Modern receive paths (StackRSS / StackPoll / StackZeroCopy). The
+	// legacy stacks never read these, so configs built before they existed
+	// behave identically.
+	RSSRingSlots int     // per-RSS-ring RX descriptor count
+	NICFifoBytes int     // NIC-internal FIFO absorbing DMA-ceiling backpressure
+	NapiBudget   int     // packets drained per NAPI / XDP service pass
+	NapiPollNS   float64 // per-packet NAPI poll cost (no skb: build + deliver)
+	PollBurst    int     // poll-mode burst size per ring poll
+	PollPerPktNS float64 // per-packet PMD cost within a burst
+	PollIdleNS   float64 // one empty poll-loop pass (busy-spin grain, unscaled)
+	XdpRxNS      float64 // per-packet XDP rx + redirect into an XSK ring
+	XdpPerPktNS  float64 // app-side per-frame descriptor handling (no copy)
+	UmemFrames   int     // UMEM frame pool shared by all XSK sockets
+	AppRingSlots int     // per-app ring capacity (poll-mode and XSK, in packets)
+	WakeupBatch  int     // packets per application wakeup (batched syscalls)
+
 	// Background OS housekeeping: a kernel-priority task of HousekeepNS
 	// runs every HousekeepPeriodNS on each CPU (timer ticks, bookkeeping,
 	// daemons). It cannot delay interrupt-context capture but stalls the
@@ -143,6 +197,19 @@ func DefaultCosts() Costs {
 		WorkerQueueBytes: 8 << 20,
 
 		RingInsertNS: 200,
+
+		RSSRingSlots: 1024,
+		NICFifoBytes: 4 << 20,
+		NapiBudget:   64,
+		NapiPollNS:   280,
+		PollBurst:    32,
+		PollPerPktNS: 90,
+		PollIdleNS:   4000,
+		XdpRxNS:      220,
+		XdpPerPktNS:  120,
+		UmemFrames:   4096,
+		AppRingSlots: 4096,
+		WakeupBatch:  32,
 
 		FilterPerInstrNS: 7,
 
@@ -215,6 +282,17 @@ type Config struct {
 	// skip the skb/socket machinery and land directly in a shared ring
 	// the application reads in place.
 	PFRing bool
+
+	// Stack selects the receive-path generation. StackLegacy (zero) keeps
+	// the 2005 stacks selected by OS; the modern kinds use the RSS
+	// multi-queue NIC with RXRings per-core rings. Modern stacks still use
+	// OS for the buffer defaults and scheduler behaviour (they are
+	// Linux-family paths).
+	Stack StackKind
+	// RXRings is the RSS ring count of a modern stack (0 = one per CPU;
+	// clamped to the CPU count, and to NumCPUs-1 for poll mode so at least
+	// one CPU remains for the applications).
+	RXRings int
 
 	Snaplen int // capture length; the thesis uses tcpdump -s 1515
 

@@ -57,6 +57,7 @@ func scaled(cfg Config, packets int) Config {
 	cfg.Costs.ReadTimeoutNS *= s
 	cfg.Costs.PipeBufBytes = scaleB(cfg.Costs.PipeBufBytes)
 	cfg.Costs.WorkerQueueBytes = scaleB(cfg.Costs.WorkerQueueBytes)
+	cfg.Costs.NICFifoBytes = scaleB(cfg.Costs.NICFifoBytes)
 	if cfg.DiskQueueBytes == 0 {
 		cfg.DiskQueueBytes = scaleB(32 << 20)
 	}

@@ -48,7 +48,9 @@ func (s Stats) CheckConservation() error {
 			napps, s.Generated, lhs, s.CapturedTotal(), s.Ledger.PerAppPackets(),
 			napps, s.Ledger.SharedPackets(), rhs)
 	}
-	nic := s.Ledger.Drops[CauseNICRing].Packets + s.Ledger.Drops[CauseModeration].Packets
+	nic := s.Ledger.Drops[CauseNICRing].Packets + s.Ledger.Drops[CauseModeration].Packets +
+		s.Ledger.Drops[CauseRSSRing].Packets + s.Ledger.Drops[CausePollBudget].Packets +
+		s.Ledger.Drops[CausePCIe].Packets
 	if nic != s.NICDrops {
 		return fmt.Errorf("capture: ledger NIC drops %d != NICDrops %d", nic, s.NICDrops)
 	}

@@ -75,6 +75,23 @@ const (
 	// CauseShedAdaptive: packets declined by the queue-depth feedback
 	// controller while it was backing off under load.
 	CauseShedAdaptive
+	// CauseRSSRing: overflow of one RSS RX ring (modern multi-queue NIC).
+	// Shared: like the legacy ring, the packet never left the card.
+	CauseRSSRing
+	// CausePollBudget: RSS ring overflow while the last service pass left
+	// packets behind because its NAPI budget / poll burst was exhausted —
+	// the batching limit at work, not raw consumer overload (the modern
+	// analogue of the moderation-vs-nic-ring attribution).
+	CausePollBudget
+	// CauseUmemFill: the AF_XDP UMEM frame pool was exhausted when the
+	// packet reached XDP — the fill ring ran dry because applications were
+	// not returning frames fast enough. Shared: no socket got the packet.
+	CauseUmemFill
+	// CausePCIe: the NIC's internal FIFO overflowed because the PCIe /
+	// memory-bus DMA ceiling (arch.Profile.PCIeGbps, MemBWGbps) is below
+	// the offered rate — at 40/100G the host bus, not the CPU, is the
+	// first wall. Shared: the frame never reached host memory.
+	CausePCIe
 
 	NumCauses
 )
@@ -112,6 +129,14 @@ func (c Cause) String() string {
 		return "shed-flow"
 	case CauseShedAdaptive:
 		return "shed-adaptive"
+	case CauseRSSRing:
+		return "rss-ring"
+	case CausePollBudget:
+		return "poll-budget"
+	case CauseUmemFill:
+		return "umem-fill"
+	case CausePCIe:
+		return "pcie-bus"
 	default:
 		return fmt.Sprintf("cause(%d)", int(c))
 	}
@@ -143,7 +168,9 @@ func CausesByName() []Cause { return causesByName }
 // remnants) are recorded once per affected application already.
 func (c Cause) Shared() bool {
 	return c == CauseNICRing || c == CauseModeration || c == CauseBacklog ||
-		c == CauseFaultSplitter || c == CauseFaultGenerator
+		c == CauseFaultSplitter || c == CauseFaultGenerator ||
+		c == CauseRSSRing || c == CausePollBudget || c == CauseUmemFill ||
+		c == CausePCIe
 }
 
 // DropRecord accumulates the drops of one cause: packet and byte counts

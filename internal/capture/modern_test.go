@@ -1,0 +1,214 @@
+package capture
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/pktgen"
+)
+
+// newModernGen builds a multi-flow train at a multi-gigabit line rate
+// (RSS needs flow diversity to spread, and a 2005-style 1250 ns sender
+// cannot source 10G+).
+func newModernGen(packets int, rateMbit float64, seed uint64) *pktgen.Generator {
+	g := newGen(packets, rateMbit, seed)
+	g.Config.LineRate = 100e9
+	g.Config.PerPacketCostNS = 20
+	g.Config.UDPSrcPortCount = 256
+	return g
+}
+
+// modernCfg mirrors the core-level heron/osprey/kite profiles without
+// importing core (which imports this package).
+func modernCfg(name string, kind StackKind, napps int) Config {
+	cfg := Config{
+		Name:    name,
+		OS:      Linux,
+		Stack:   kind,
+		NumCPUs: 8,
+		RXRings: 4,
+		NumApps: napps,
+	}
+	if kind == StackPoll {
+		cfg.Arch = arch.EpycRome()
+	} else {
+		cfg.Arch = arch.XeonScalable()
+		cfg.BufferBytes = 8 << 20
+	}
+	return cfg
+}
+
+func modernKinds() map[string]StackKind {
+	return map[string]StackKind{
+		"rss":      StackRSS,
+		"pollmode": StackPoll,
+		"zerocopy": StackZeroCopy,
+	}
+}
+
+// TestModernConservation drives every modern stack across app counts and
+// load levels, from comfortable to far past saturation, and requires the
+// drop ledger to balance exactly in each cell.
+func TestModernConservation(t *testing.T) {
+	for name, kind := range modernKinds() {
+		for _, napps := range []int{1, 4} {
+			for _, rateMbit := range []float64{2000, 40000, 100000} {
+				sys := NewSystem(scaled(modernCfg(name, kind, napps), 4000))
+				st := sys.Run(newModernGen(4000, rateMbit, 1))
+				if st.Truncated {
+					t.Errorf("%s napps=%d rate=%g: truncated", name, napps, rateMbit)
+				}
+				if err := st.CheckConservation(); err != nil {
+					t.Errorf("%s napps=%d rate=%g: %v", name, napps, rateMbit, err)
+				}
+				if st.Generated != 4000 {
+					t.Errorf("%s napps=%d rate=%g: generated %d", name, napps, rateMbit, st.Generated)
+				}
+			}
+		}
+	}
+}
+
+// TestModernRunDeterministic runs the same seed + train on two freshly
+// built systems; the runs must agree exactly, including the per-ring RSS
+// delivery counts (the same property -parallel sweeps rely on).
+func TestModernRunDeterministic(t *testing.T) {
+	for name, kind := range modernKinds() {
+		cfg := scaled(modernCfg(name, kind, 2), 3000)
+		sysA := NewSystem(cfg)
+		first := sysA.Run(newModernGen(3000, 40000, 7))
+		firstRings := sysA.RingDelivered()
+		sysB := NewSystem(cfg)
+		fresh := sysB.Run(newModernGen(3000, 40000, 7))
+		freshRings := sysB.RingDelivered()
+
+		if fresh.CapturedTotal() != first.CapturedTotal() ||
+			fresh.NICDrops != first.NICDrops ||
+			fresh.Ledger != first.Ledger {
+			t.Errorf("%s: fresh run diverged: captured %d/%d nicdrops %d/%d",
+				name, fresh.CapturedTotal(), first.CapturedTotal(),
+				fresh.NICDrops, first.NICDrops)
+		}
+		if len(firstRings) == 0 {
+			t.Fatalf("%s: no ring delivery counts", name)
+		}
+		for r := range firstRings {
+			if freshRings[r] != firstRings[r] {
+				t.Errorf("%s: ring %d delivered %d then %d", name, r, firstRings[r], freshRings[r])
+			}
+		}
+		// RSS must actually spread a 256-flow train beyond one ring.
+		spread := 0
+		for _, d := range firstRings {
+			if d > 0 {
+				spread++
+			}
+		}
+		if spread < 2 {
+			t.Errorf("%s: %d-ring RSS used only %d ring(s): %v", name, len(firstRings), spread, firstRings)
+		}
+	}
+}
+
+// TestPollModeAlwaysBusy pins the defining poll-mode trade: the PMD cores
+// are ~100% busy in softirq context for the whole generation window even
+// at a trivially low rate.
+func TestPollModeAlwaysBusy(t *testing.T) {
+	sys := NewSystem(scaled(modernCfg("osprey", StackPoll, 1), 2000))
+	st := sys.Run(newModernGen(2000, 500, 3))
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if st.WallTime <= 0 {
+		t.Fatal("no generation window")
+	}
+	nrings := sys.RXRings
+	if nrings != 4 {
+		t.Fatalf("RXRings = %d, want 4", nrings)
+	}
+	for r := 0; r < nrings; r++ {
+		frac := float64(st.BusyByCPU[r][1]) / float64(st.WallTime) // PrioSoftIRQ
+		if frac < 0.95 {
+			t.Errorf("PMD core %d softirq busy %.1f%% of wall, want ~100%%", r, frac*100)
+		}
+	}
+}
+
+// TestModernOverloadCauses checks that each modern bottleneck books drops
+// under its own cause: the PCIe/memory ceiling at 100G on a PCIe 3.0 x8
+// host, RSS ring overflow when the stack cannot drain, and UMEM fill-ring
+// exhaustion when the zero-copy pool is tiny.
+func TestModernOverloadCauses(t *testing.T) {
+	// heron at 100G: the 63 Gbit/s bus ceiling must drop under pcie-bus.
+	st := NewSystem(scaled(modernCfg("heron", StackRSS, 1), 5000)).
+		Run(newModernGen(5000, 100000, 1))
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ledger.Drops[CausePCIe].Packets == 0 {
+		t.Errorf("heron at 100G: no pcie-bus drops; ledger: %+v", st.Ledger.Drops)
+	}
+
+	// Starved RSS rings: a single slow CPU behind 100G must overflow the
+	// rings (rss-ring and/or the budget-deferred variant).
+	cfg := scaled(modernCfg("heron", StackRSS, 1), 5000)
+	cfg.Arch = arch.Xeon306() // 2005 core, no bus ceiling
+	cfg.NumCPUs = 2
+	cfg.RXRings = 2
+	cfg.Costs.RSSRingSlots = 64
+	st = NewSystem(cfg).Run(newModernGen(5000, 100000, 1))
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	ring := st.Ledger.Drops[CauseRSSRing].Packets + st.Ledger.Drops[CausePollBudget].Packets
+	if ring == 0 {
+		t.Errorf("starved rss rings: no rss-ring/poll-budget drops; ledger: %+v", st.Ledger.Drops)
+	}
+	if ring+st.Ledger.Drops[CausePCIe].Packets != st.NICDrops {
+		t.Errorf("ring drops %d + pcie %d != NICDrops %d", ring, st.Ledger.Drops[CausePCIe].Packets, st.NICDrops)
+	}
+
+	// kite with a tiny UMEM: fill-ring exhaustion must book umem-fill as a
+	// shared cause.
+	cfg = scaled(modernCfg("kite", StackZeroCopy, 2), 5000)
+	cfg.Costs.UmemFrames = 32
+	st = NewSystem(cfg).Run(newModernGen(5000, 40000, 1))
+	if err := st.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ledger.Drops[CauseUmemFill].Packets == 0 {
+		t.Errorf("tiny umem: no umem-fill drops; ledger: %+v", st.Ledger.Drops)
+	}
+}
+
+// TestModernWithPolicy runs each modern stack under a sampling policy:
+// shed packets are deliberate (shed != lost) and the ledger still
+// balances.
+func TestModernWithPolicy(t *testing.T) {
+	for name, kind := range modernKinds() {
+		cfg := scaled(modernCfg(name, kind, 2), 3000)
+		cfg.Policy = PolicySpec{Kind: PolicyUniform, N: 2}
+		st := NewSystem(cfg).Run(newModernGen(3000, 10000, 5))
+		if err := st.CheckConservation(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if st.ShedTotal() == 0 {
+			t.Errorf("%s: uniform 1-in-2 policy shed nothing", name)
+		}
+	}
+}
+
+// TestModernRingClamp pins the ring-count clamping rules: 0 means one per
+// CPU, poll mode keeps one core free for the readers.
+func TestModernRingClamp(t *testing.T) {
+	cfg := modernCfg("heron", StackRSS, 1)
+	cfg.RXRings = 0
+	if got := NewSystem(scaled(cfg, 1000)).RXRings; got != 8 {
+		t.Errorf("rss rings=0: clamped to %d, want 8 (one per CPU)", got)
+	}
+	cfg = modernCfg("osprey", StackPoll, 1)
+	cfg.RXRings = 99
+	if got := NewSystem(scaled(cfg, 1000)).RXRings; got != 7 {
+		t.Errorf("poll rings=99: clamped to %d, want 7 (NumCPUs-1)", got)
+	}
+}

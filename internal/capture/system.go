@@ -62,7 +62,8 @@ type System struct {
 
 	Sim     *sim.Sim
 	Machine *sim.Machine
-	NIC     *NIC
+	NIC     *NIC    // legacy single-queue NIC (nil on the modern stacks)
+	rss     *rssNIC // RSS multi-queue NIC (nil on the legacy stacks)
 	Disk    *Disk
 
 	stack stack
@@ -148,18 +149,43 @@ func NewSystem(cfg Config) *System {
 	if cfg.Hyperthreading {
 		s.Machine.HTSlowdown = cfg.Arch.HTSlowdown
 	}
-	s.NIC = &NIC{sys: s}
-	s.NIC.gauge = s.newGauge("nic-ring", -1, s.Costs.RingSlots)
+	if cfg.Stack == StackLegacy {
+		s.NIC = &NIC{sys: s}
+		s.NIC.gauge = s.newGauge("nic-ring", -1, s.Costs.RingSlots)
+	} else {
+		// Clamp the ring count to the CPUs that can service them; poll
+		// mode additionally keeps at least one core free of PMD spin
+		// loops so application work can run.
+		rings := cfg.RXRings
+		if rings <= 0 || rings > ncpu {
+			rings = ncpu
+		}
+		if cfg.Stack == StackPoll && rings >= ncpu && ncpu > 1 {
+			rings = ncpu - 1
+		}
+		s.RXRings = rings
+		s.rss = newRSSNIC(s, rings)
+	}
 	s.Disk = &Disk{sys: s, MaxQueue: cfg.DiskQueueBytes}
 	s.Disk.gauge = s.newGauge("disk-queue", -1, cfg.DiskQueueBytes)
 
 	for i := 0; i < cfg.NumApps; i++ {
 		s.apps = append(s.apps, newApp(s, i))
 	}
-	switch cfg.OS {
-	case Linux:
+	switch {
+	case cfg.Stack == StackRSS:
+		st := newRSSStack(s, s.RXRings)
+		s.stack = st
+		s.rss.kick = st
+	case cfg.Stack == StackPoll:
+		s.stack = newPollStack(s, s.RXRings)
+	case cfg.Stack == StackZeroCopy:
+		st := newXDPStack(s, s.RXRings)
+		s.stack = st
+		s.rss.kick = st
+	case cfg.OS == Linux:
 		s.stack = newLinuxStack(s)
-	case FreeBSD:
+	case cfg.OS == FreeBSD:
 		s.stack = newBSDStack(s)
 	default:
 		panic(fmt.Sprintf("capture: unknown OS %d", cfg.OS))
@@ -242,7 +268,11 @@ func (s *System) startHousekeeping() {
 
 // quiescent reports whether all packets in flight have been fully handled.
 func (s *System) quiescent() bool {
-	if len(s.NIC.ring) > 0 || s.NIC.irqActive || s.stack.pending() {
+	if s.rss != nil {
+		if !s.rss.idle() || s.stack.pending() {
+			return false
+		}
+	} else if len(s.NIC.ring) > 0 || s.NIC.irqActive || s.stack.pending() {
 		return false
 	}
 	for _, a := range s.apps {
@@ -291,7 +321,11 @@ func (s *System) resetRun() {
 	for _, g := range s.gauges {
 		g.reset()
 	}
-	s.NIC.reset()
+	if s.rss != nil {
+		s.rss.reset()
+	} else {
+		s.NIC.reset()
+	}
 	s.stack.reset()
 	s.Disk.reset()
 	for _, a := range s.apps {
@@ -341,6 +375,10 @@ func (s *System) run(src Source, gapsNS []int64) Stats {
 	for _, a := range s.apps {
 		s.stack.appStart(a)
 	}
+	// A poll-mode stack spins up its PMD loops for the duration of the run.
+	if st, ok := s.stack.(interface{ start() }); ok {
+		st.start()
+	}
 
 	var sent uint64
 	var feed func()
@@ -361,7 +399,7 @@ func (s *System) run(src Source, gapsNS []int64) Stats {
 		}
 		sent++
 		s.Sim.At(arrivalAt(p), func() {
-			s.NIC.Arrive(p.Data)
+			s.arrive(p.Data)
 			feed()
 		})
 	}
@@ -419,11 +457,17 @@ func (s *System) recordRemnants() {
 		sharedPkts++
 		sharedBytes += uint64(len(p.data))
 	}
-	if s.NIC.inflight != nil {
-		count(*s.NIC.inflight)
-	}
-	for _, p := range s.NIC.ring {
-		count(p)
+	if s.rss != nil {
+		p, b := s.rss.remnants()
+		sharedPkts += p
+		sharedBytes += b
+	} else {
+		if s.NIC.inflight != nil {
+			count(*s.NIC.inflight)
+		}
+		for _, p := range s.NIC.ring {
+			count(p)
+		}
 	}
 	shared, perApp := s.stack.remnants()
 	for _, p := range shared {
@@ -446,7 +490,7 @@ func (s *System) recordRemnants() {
 func (s *System) collectStats(generated uint64) Stats {
 	st := Stats{
 		Generated: generated,
-		NICDrops:  s.NIC.Drops,
+		NICDrops:  s.nicDrops(),
 		CPUCount:  len(s.Machine.CPUs),
 	}
 	st.WallTime = s.genEnd - s.runStart
@@ -480,6 +524,33 @@ func (s *System) collectStats(generated uint64) Stats {
 	st.AppDrops, st.QueueDrops = s.stack.dropStats()
 	st.Stamped, st.TsErrSum, st.TsErrMax, st.TsTies = s.tsStamped, s.tsErrSum, s.tsErrMax, s.tsTies
 	return st
+}
+
+// arrive hands one wire-complete frame to whichever NIC the system has.
+func (s *System) arrive(data []byte) {
+	if s.rss != nil {
+		s.rss.Arrive(data)
+		return
+	}
+	s.NIC.Arrive(data)
+}
+
+// nicDrops is the aggregate NIC-level drop count of whichever NIC the
+// system has.
+func (s *System) nicDrops() uint64 {
+	if s.rss != nil {
+		return s.rss.Drops
+	}
+	return s.NIC.Drops
+}
+
+// RingDelivered exposes the per-ring delivery counts of the RSS NIC (nil
+// on legacy systems); RSS determinism tests compare these across runs.
+func (s *System) RingDelivered() []uint64 {
+	if s.rss == nil {
+		return nil
+	}
+	return s.rss.RingDelivered()
 }
 
 // Done reports whether the generation phase of the current run has ended

@@ -105,3 +105,47 @@ func TestAggregatePointMergesLedger(t *testing.T) {
 		t.Fatalf("truncated reps = %d, want 1", pt.Truncated)
 	}
 }
+
+// TestFormatRate pins the multi-gigabit x-axis rendering: sub-gigabit
+// rates keep the historical plain-integer form, whole gigabits compress
+// to NG labels, and everything else prints at full precision.
+func TestFormatRate(t *testing.T) {
+	cases := []struct {
+		x    float64
+		want string
+	}{
+		{100, "100"},
+		{950, "950"},
+		{999, "999"},
+		{1000, "1G"},
+		{2000, "2G"},
+		{10000, "10G"},
+		{40000, "40G"},
+		{100000, "100G"},
+		{2500, "2500"},
+		{1024, "1024"},
+		{62.5, "62.5"},
+	}
+	for _, c := range cases {
+		if got := FormatRate(c.x); got != c.want {
+			t.Errorf("FormatRate(%g) = %q, want %q", c.x, got, c.want)
+		}
+	}
+}
+
+// TestFormatTableMultiGig checks that a 10/40/100G sweep renders without
+// precision loss or ragged columns.
+func TestFormatTableMultiGig(t *testing.T) {
+	series := []Series{
+		{System: "heron", Points: []Point{
+			{X: 10000, Rate: 100, CPU: 12.5},
+			{X: 40000, Rate: 96.2, CPU: 50},
+			{X: 100000, Rate: 61.31, CPU: 88},
+		}},
+	}
+	want := "# t\n# x\theron:rate%\theron:cpu%\n" +
+		"10G\t100.00\t 12.50\n40G\t 96.20\t 50.00\n100G\t 61.31\t 88.00\n"
+	if got := FormatTable("t", series); got != want {
+		t.Fatalf("multi-gig rendering:\ngot  %q\nwant %q", got, want)
+	}
+}

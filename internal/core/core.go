@@ -55,6 +55,44 @@ func Sniffers() []capture.Config {
 	return []capture.Config{Swan(), Snipe(), Moorhen(), Flamingo()}
 }
 
+// Heron returns the modern RSS + NAPI system: a Xeon Scalable host
+// running the stock Linux receive path spread over multiple hardware
+// queues — the 2005 architecture scaled up rather than redesigned.
+func Heron() capture.Config {
+	return capture.Config{
+		Name: "heron", Arch: arch.XeonScalable(), OS: capture.Linux,
+		Stack: capture.StackRSS, NumCPUs: 8, RXRings: 4,
+		BufferBytes: 8 << 20,
+	}
+}
+
+// Osprey returns the poll-mode system: an EPYC Rome host dedicating
+// busy-spinning cores to the NIC rings, DPDK style — zero interrupt
+// cost bought with always-100% CPUs.
+func Osprey() capture.Config {
+	return capture.Config{
+		Name: "osprey", Arch: arch.EpycRome(), OS: capture.Linux,
+		Stack: capture.StackPoll, NumCPUs: 8, RXRings: 4,
+	}
+}
+
+// Kite returns the AF_XDP-style zero-copy system: the same Xeon
+// Scalable host as heron, but frames are redirected from a shared UMEM
+// pool into per-socket rings with no per-packet copy and batched
+// wakeups.
+func Kite() capture.Config {
+	return capture.Config{
+		Name: "kite", Arch: arch.XeonScalable(), OS: capture.Linux,
+		Stack: capture.StackZeroCopy, NumCPUs: 8, RXRings: 4,
+	}
+}
+
+// ModernSniffers returns the three modern-stack systems in plotting
+// order.
+func ModernSniffers() []capture.Config {
+	return []capture.Config{Heron(), Osprey(), Kite()}
+}
+
 // Workload describes the generated packet train of one measurement run.
 type Workload struct {
 	// Packets per run. The thesis generates 1 000 000 per run; smaller
@@ -74,6 +112,13 @@ type Workload struct {
 	// cycles). Flow-level experiments need real flow diversity; 0 keeps
 	// the train byte-identical to the thesis setup.
 	Flows int
+	// LineRate, when nonzero, overrides the generator's medium bit rate
+	// (default 1 Gbit/s) — the modern sweeps run 10/40/100G links.
+	LineRate float64
+	// GenCostNS, when nonzero, overrides the generating host's per-packet
+	// cost (default 1250 ns — a 2005 sender cannot source much beyond
+	// 1 GbE; a modern hardware generator is set to a few tens of ns).
+	GenCostNS float64
 }
 
 // scale is the time-compression factor of a run relative to the thesis's
@@ -108,6 +153,12 @@ func (w Workload) Generator() *pktgen.Generator {
 	g.Config.TargetRate = w.TargetRate
 	if w.Flows > 1 {
 		g.Config.UDPSrcPortCount = w.Flows
+	}
+	if w.LineRate > 0 {
+		g.Config.LineRate = w.LineRate
+	}
+	if w.GenCostNS > 0 {
+		g.Config.PerPacketCostNS = w.GenCostNS
 	}
 	if w.FixedSize > 0 {
 		g.Config.PktSize = w.FixedSize
@@ -144,6 +195,7 @@ func Prepare(cfg capture.Config, w Workload) capture.Config {
 	cfg.Costs.ReadTimeoutNS *= s
 	cfg.Costs.PipeBufBytes = scaleBytes(cfg.Costs.PipeBufBytes, s)
 	cfg.Costs.WorkerQueueBytes = scaleBytes(cfg.Costs.WorkerQueueBytes, s)
+	cfg.Costs.NICFifoBytes = scaleBytes(cfg.Costs.NICFifoBytes, s)
 	if cfg.DiskQueueBytes == 0 {
 		cfg.DiskQueueBytes = scaleBytes(32<<20, s)
 	}
@@ -293,7 +345,7 @@ func FormatTable(title string, series []Series) string {
 		// this row.
 		for _, s := range series {
 			if i < len(s.Points) {
-				fmt.Fprintf(&out, "%.0f", s.Points[i].X)
+				out.WriteString(FormatRate(s.Points[i].X))
 				break
 			}
 		}
@@ -308,6 +360,21 @@ func FormatTable(title string, series []Series) string {
 		out.WriteByte('\n')
 	}
 	return out.String()
+}
+
+// FormatRate renders one x-axis data rate in Mbit/s for a table column.
+// Sub-gigabit rates keep the thesis's plain integer form (byte-identical
+// to the historical output); whole multiples of 1000 Mbit/s compress to
+// "10G"-style labels so multi-gigabit sweeps neither lose precision nor
+// blow up the column width; anything else prints exactly.
+func FormatRate(x float64) string {
+	if x == math.Trunc(x) {
+		if x >= 1000 && math.Mod(x, 1000) == 0 {
+			return fmt.Sprintf("%.0fG", x/1000)
+		}
+		return fmt.Sprintf("%.0f", x)
+	}
+	return fmt.Sprintf("%g", x)
 }
 
 // FormatWhy renders the drop-cause breakdown of a sweep: one line per

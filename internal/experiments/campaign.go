@@ -39,6 +39,9 @@ type fingerprintInput struct {
 	// Policy is omitted when empty so campaigns recorded before the
 	// sampling policies existed keep their fingerprints.
 	Policy string `json:"policy,omitempty"`
+	// Rings is omitted when empty so campaigns recorded before the
+	// modern-stack sweep existed keep their fingerprints.
+	Rings []int `json:"rings,omitempty"`
 }
 
 // Fingerprint hashes the campaign identity of o (defaults applied), bound
@@ -53,6 +56,7 @@ func Fingerprint(o Options) (string, error) {
 		Rates:   o.Rates,
 		Chaos:   o.Chaos,
 		Policy:  o.Policy,
+		Rings:   o.Rings,
 	}, moduleVersion())
 }
 

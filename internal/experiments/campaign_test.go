@@ -204,6 +204,7 @@ func TestFingerprintSemanticFields(t *testing.T) {
 		"rates":   func(o *Options) { o.Rates = []float64{100} },
 		"chaos":   func(o *Options) { o.Chaos = 1 },
 		"policy":  func(o *Options) { o.Policy = "uniform:4" },
+		"rings":   func(o *Options) { o.Rings = []int{8} },
 	} {
 		o := campaignOpts()
 		mutate(&o)
@@ -227,5 +228,21 @@ func TestFingerprintPolicyBackwardCompatible(t *testing.T) {
 	const want = `{"packets":2000,"reps":2,"seed":1,"rates":[300],"chaos":0}`
 	if string(b) != want {
 		t.Fatalf("empty-policy fingerprint input = %s, want %s", b, want)
+	}
+}
+
+// TestFingerprintRingsBackwardCompatible: with no -rings set, the
+// fingerprint input still marshals exactly as before the Rings field
+// existed (including with a policy set), so pre-modern-sweep journals
+// keep resuming.
+func TestFingerprintRingsBackwardCompatible(t *testing.T) {
+	in := fingerprintInput{Packets: 2000, Reps: 2, Seed: 1, Rates: []float64{300}, Chaos: 0, Policy: "uniform:4"}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const want = `{"packets":2000,"reps":2,"seed":1,"rates":[300],"chaos":0,"policy":"uniform:4"}`
+	if string(b) != want {
+		t.Fatalf("empty-rings fingerprint input = %s, want %s", b, want)
 	}
 }

@@ -51,6 +51,12 @@ type Options struct {
 	// campaign fingerprint. The policy-sweep experiment ext-shedding
 	// ignores it (it sweeps the policies itself).
 	Policy string
+	// Rings is the RX ring-count axis of the modern-stack sweep
+	// (ext-modern) — the `experiment -rings` flag. Empty means the
+	// default {2, 4} and keeps the campaign fingerprint identical to
+	// pre-ring journals (the field enters the fingerprint via omitempty,
+	// like Policy). A semantic knob: it changes the swept cells.
+	Rings []int
 
 	// Ctx, when non-nil, lets a caller cancel a running experiment: the
 	// worker pools drain (in-flight cells finish, nothing new starts) and

@@ -93,3 +93,39 @@ func TestParallelSweepDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestModernSweepDeterminism pins the modern-stack sweep's determinism
+// across parallelism levels, and that the sweep still produces points in
+// every cell under -chaos (the resilient engine validates conservation,
+// including the new rss-ring / poll-budget / umem-fill / pcie-bus causes).
+func TestModernSweepDeterminism(t *testing.T) {
+	e, err := Find("ext-modern")
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := Options{Packets: 2000, Reps: 1, Seed: 1, Rings: []int{2}}
+	var want string
+	for _, p := range []int{0, 3} {
+		o.Parallelism = p
+		got := e.Run(o)
+		if p == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("Parallelism=%d output differs from serial:\n%s\nvs\n%s", p, got, want)
+		}
+	}
+
+	for _, chaos := range []uint64{0, 7} {
+		o.Chaos = chaos
+		o.Parallelism = 0
+		for _, s := range e.Series(o) {
+			for _, pt := range s.Points {
+				if pt.Generated == 0 {
+					t.Fatalf("chaos=%d %s@%g: no packets", chaos, s.System, pt.X)
+				}
+			}
+		}
+	}
+}

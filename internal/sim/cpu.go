@@ -83,6 +83,33 @@ type Machine struct {
 	// sibling CPU is busy. 1.0 when hyperthreading is off or the CPU has a
 	// dedicated core.
 	HTSlowdown float64
+
+	// reserved marks CPUs excluded from SubmitUser placement: a poll-mode
+	// driver pins a busy-spin loop there, so a user task placed on one
+	// would starve behind the spinning forever. unreserved caches the
+	// placement candidates so the SubmitUser hot path stays allocation-free.
+	reserved   []bool
+	unreserved []*CPU
+}
+
+// Reserve dedicates CPU id to pinned kernel work (a poll-mode driver
+// core): SubmitUser will no longer place user tasks there. If every CPU
+// ends up reserved, SubmitUser falls back to considering all of them —
+// the caller is expected to leave at least one CPU for user work.
+func (m *Machine) Reserve(id int) {
+	if m.reserved == nil {
+		m.reserved = make([]bool, len(m.CPUs))
+	}
+	m.reserved[id] = true
+	m.unreserved = m.unreserved[:0]
+	for i, c := range m.CPUs {
+		if !m.reserved[i] {
+			m.unreserved = append(m.unreserved, c)
+		}
+	}
+	if len(m.unreserved) == 0 {
+		m.unreserved = append(m.unreserved, m.CPUs...)
+	}
 }
 
 // NewMachine creates a machine with n CPUs. If hyperthreading is true the
@@ -324,10 +351,14 @@ func (m *Machine) siblingBusy(self *CPU) bool {
 // interrupts runs user work slowly. Ties are broken by accumulated kernel
 // busy time, then by CPU ID for determinism.
 func (m *Machine) SubmitUser(t *Task) *CPU {
-	best := m.CPUs[0]
+	cands := m.CPUs
+	if len(m.unreserved) > 0 {
+		cands = m.unreserved
+	}
+	best := cands[0]
 	bestScore := m.finishScore(best, t)
 	bestKern := kernelBusyTotal(best)
-	for _, c := range m.CPUs[1:] {
+	for _, c := range cands[1:] {
 		s, k := m.finishScore(c, t), kernelBusyTotal(c)
 		if s < bestScore || (s == bestScore && k < bestKern) {
 			best, bestScore, bestKern = c, s, k

@@ -491,3 +491,30 @@ func BenchmarkEventQueue(b *testing.B) {
 		s.RunUntil(s.Now() + 100) // fires ~64 events per iteration
 	}
 }
+
+func TestSubmitUserAvoidsReservedCPU(t *testing.T) {
+	s := New()
+	m := NewMachine(s, 3, false)
+	m.Reserve(0)
+	m.Reserve(1)
+	mk := func() *Task {
+		return &Task{Name: "u", Prio: PrioUser, FixedNS: 1000, OnDone: func() {}}
+	}
+	for i := 0; i < 4; i++ {
+		if c := m.SubmitUser(mk()); c.ID != 2 {
+			t.Fatalf("user task %d placed on reserved CPU %d, want 2", i, c.ID)
+		}
+	}
+}
+
+func TestSubmitUserAllReservedFallsBack(t *testing.T) {
+	s := New()
+	m := NewMachine(s, 2, false)
+	m.Reserve(0)
+	m.Reserve(1)
+	// Every CPU reserved: placement falls back to the full set rather
+	// than deadlocking.
+	if c := m.SubmitUser(&Task{Name: "u", Prio: PrioUser, FixedNS: 10, OnDone: func() {}}); c == nil {
+		t.Fatal("no CPU chosen")
+	}
+}

@@ -58,6 +58,23 @@ func CounterDelta(after, before uint64) uint64 {
 	return after - before
 }
 
+// CounterDeltaNear returns after − before on a 32-bit wrapping counter
+// that may have wrapped MORE than once between the reads, disambiguated
+// by an independent expectation (gen's own statistics). At 100 Gbit/s
+// the Counter32 octet counters wrap every ~0.34 s — a single cycle spans
+// many wraps, so the §3.4 single-wrap discipline undercounts by a
+// multiple of 2³². The closest value congruent to the raw delta mod 2³²
+// is the true delta as long as the expectation is within 2³¹ of the
+// truth, which a per-cycle cross-check always is.
+func CounterDeltaNear(after, before, expected uint64) uint64 {
+	base := CounterDelta(after, before)
+	if expected <= base {
+		return base
+	}
+	k := (expected - base + counterWrap/2) / counterWrap
+	return base + k*counterWrap
+}
+
 // Switch is the monitoring switch: it counts what gen sends and mirrors it
 // to the splitter. The VLAN separation of the control traffic (Figure 3.1)
 // means SNMP polling never appears on the measurement port.
@@ -103,6 +120,10 @@ type RunResult struct {
 	CountersBefore  SNMPCounters
 	CountersAfter   SNMPCounters
 	GeneratedFrames uint64 // from gen's own statistics
+	// GeneratedOctets is the wire byte count from gen's statistics. Zero
+	// means "not recorded" (hand-built results) and disables the octet
+	// cross-check in Verify.
+	GeneratedOctets uint64
 	Sniffers        []SnifferResult
 	// Expected lists the sniffers that were supposed to report. Empty
 	// means "whoever reported" — the legacy behaviour, kept so existing
@@ -116,6 +137,14 @@ func (r RunResult) GeneratedBySwitch() uint64 {
 	return CounterDelta(r.CountersAfter.OutUcastPkts, r.CountersBefore.OutUcastPkts)
 }
 
+// OctetsBySwitch returns the ground-truth wire byte count for the run.
+// Unlike the packet counter, the octet counter wraps every ~0.34 s at
+// 100 Gbit/s, so the delta needs gen's byte count to disambiguate the
+// wrap multiple.
+func (r RunResult) OctetsBySwitch() uint64 {
+	return CounterDeltaNear(r.CountersAfter.OutOctets, r.CountersBefore.OutOctets, r.GeneratedOctets)
+}
+
 // CountMismatchError: the switch's ground truth disagrees with gen's own
 // statistics — the generator underran, stalled, or the SNMP read was
 // stale.
@@ -125,6 +154,17 @@ type CountMismatchError struct {
 
 func (e *CountMismatchError) Error() string {
 	return fmt.Sprintf("testbed: switch counted %d packets, gen sent %d", e.Switch, e.Gen)
+}
+
+// OctetMismatchError: the switch's octet ground truth disagrees with
+// gen's byte count even after wrap recovery — bytes went missing on the
+// wire, or the counter wrapped further than the expectation can resolve.
+type OctetMismatchError struct {
+	Switch, Gen uint64
+}
+
+func (e *OctetMismatchError) Error() string {
+	return fmt.Sprintf("testbed: switch counted %d octets, gen sent %d", e.Switch, e.Gen)
 }
 
 // ShortfallError: a sniffer was offered fewer packets than the switch
@@ -159,6 +199,11 @@ func (e *MissingSnifferError) Error() string {
 func (r RunResult) Verify() error {
 	if got := r.GeneratedBySwitch(); got != r.GeneratedFrames {
 		return &CountMismatchError{Switch: got, Gen: r.GeneratedFrames}
+	}
+	if r.GeneratedOctets != 0 {
+		if got := r.OctetsBySwitch(); got != r.GeneratedOctets {
+			return &OctetMismatchError{Switch: got, Gen: r.GeneratedOctets}
+		}
 	}
 	for _, want := range r.Expected {
 		found := false
@@ -222,10 +267,14 @@ func (tb *Testbed) RunCycleFaults(rep int, cf faults.CycleFaults) RunResult {
 
 	if cf.WrapPreload {
 		// Park the port counters just below the Counter32 wrap so the
-		// delta computation is exercised across it.
+		// delta computation is exercised across it — the octet counters
+		// too, which at high rates cross the wrap far sooner than the
+		// packet counters.
 		pre := tb.Switch.ReadSNMP()
 		pre.OutUcastPkts = counterWrap - uint64(w.Packets)/2 - 1
 		pre.InUcastPkts = pre.OutUcastPkts
+		pre.OutOctets = counterWrap - uint64(w.Packets) - 1
+		pre.InOctets = pre.OutOctets
 		tb.Switch.Preload(pre)
 	}
 
@@ -242,18 +291,24 @@ func (tb *Testbed) RunCycleFaults(rep int, cf faults.CycleFaults) RunResult {
 		wire = faults.NewTruncatedSource(wire, int(float64(w.Packets)*cf.Underrun))
 	}
 	sent := uint64(0)
+	var octets uint64
 	for {
 		p, ok := wire.Next()
 		if !ok {
 			break
 		}
 		sent++
+		octets += uint64(len(p.Data))
 		tb.Switch.Count(len(p.Data))
 	}
 	res.GeneratedFrames = uint64(w.Packets)
 	if cf.Underrun <= 0 || cf.Underrun >= 1 {
 		res.GeneratedFrames = counter.Sent
 	}
+	// gen's byte statistics come from the frames it actually put on the
+	// wire; an underrunning generator's octet claim shrinks with the train
+	// (the frame-count lie above is what the switch exposes).
+	res.GeneratedOctets = octets
 	res.CountersAfter = tb.Switch.ReadSNMP()
 	if cf.StaleSNMP {
 		// The post-run SNMP GET returns the pre-run snapshot (agent-side

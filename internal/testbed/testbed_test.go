@@ -5,11 +5,18 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/sim"
 )
 
 func small() core.Workload {
 	return core.Workload{Packets: 4000, TargetRate: 600e6, Seed: 1}
+}
+
+// wrapOnly injects only the SNMP counter preload: the switch starts the
+// cycle just below the 32-bit wrap.
+func wrapOnly() faults.CycleFaults {
+	return faults.CycleFaults{WrapPreload: true}
 }
 
 func TestRunCycleVerifies(t *testing.T) {
@@ -142,5 +149,93 @@ func TestVerifyCatchesMismatch(t *testing.T) {
 	r.CountersAfter.OutUcastPkts = 9
 	if err := r.Verify(); err == nil {
 		t.Fatal("verification accepted counter mismatch")
+	}
+}
+
+// TestCounterDeltaSingleWrap pins the exact single-wrap boundary: a read
+// just below 2^32 followed by one just above must produce the true delta,
+// and the off-by-one cases around the boundary must too.
+func TestCounterDeltaSingleWrap(t *testing.T) {
+	wrap := uint64(1) << 32
+	cases := []struct {
+		before, after, want uint64
+	}{
+		{wrap - 1, 0, 1},           // lands exactly on the wrap
+		{wrap - 1, wrap - 1, 0},    // no movement at the edge
+		{wrap - 100, 50, 150},      // crosses it mid-delta
+		{0, wrap - 1, wrap - 1},    // full range, no wrap
+		{123, 456, 333},            // plain case
+	}
+	for _, c := range cases {
+		if got := CounterDelta(c.after%wrap, c.before%wrap); got != c.want {
+			t.Errorf("CounterDelta(%d, %d) = %d, want %d", c.after, c.before, got, c.want)
+		}
+	}
+}
+
+// TestCounterDeltaNearMultiWrap pins the 100G regression: the Counter32
+// octet counter wraps every ~0.34 s at line rate, so a cycle's delta can
+// span many wraps; CounterDeltaNear must recover the true delta from
+// gen's expectation while CounterDelta (single-wrap discipline)
+// undercounts by a multiple of 2^32.
+func TestCounterDeltaNearMultiWrap(t *testing.T) {
+	wrap := uint64(1) << 32
+	// ~12.5 GB on the wire — one second at 100 Gbit/s, Counter32 wraps
+	// twice and lands mid-range.
+	truth := 2*wrap + 123456789
+	before := uint64(987654)
+	after := (before + truth) % wrap
+	if got := CounterDelta(after, before); got == truth {
+		t.Fatal("single-wrap delta cannot represent a multi-wrap interval; test is vacuous")
+	}
+	for _, errOff := range []int64{0, -1000000, 1000000, 1 << 30, -(1 << 30)} {
+		expected := uint64(int64(truth) + errOff)
+		if got := CounterDeltaNear(after, before, expected); got != truth {
+			t.Errorf("CounterDeltaNear(expected=truth%+d) = %d, want %d", errOff, got, truth)
+		}
+	}
+	// Exact values and sub-wrap cases degrade to CounterDelta.
+	if got := CounterDeltaNear(500, 100, 400); got != 400 {
+		t.Errorf("sub-wrap CounterDeltaNear = %d, want 400", got)
+	}
+	if got := CounterDeltaNear(50, wrap-50, 100); got != 100 {
+		t.Errorf("single-wrap CounterDeltaNear = %d, want 100", got)
+	}
+}
+
+// TestOctetVerifyAcrossWrap runs a full cycle with the counters parked
+// just below the Counter32 wrap: both the packet and octet deltas cross
+// the boundary and Verify must still pass.
+func TestOctetVerifyAcrossWrap(t *testing.T) {
+	tb := New(small())
+	res := tb.RunCycleFaults(0, wrapOnly())
+	if res.GeneratedOctets == 0 {
+		t.Fatal("cycle did not record gen's octet count")
+	}
+	if err := res.Verify(); err != nil {
+		t.Fatalf("wrap-crossing cycle failed verification: %v", err)
+	}
+	if res.OctetsBySwitch() != res.GeneratedOctets {
+		t.Fatalf("octet ground truth %d != gen %d", res.OctetsBySwitch(), res.GeneratedOctets)
+	}
+}
+
+// TestOctetVerifyCatchesLoss: octets missing on the wire surface as a
+// typed OctetMismatchError once frames happen to agree.
+func TestOctetVerifyCatchesLoss(t *testing.T) {
+	tb := New(small())
+	res := tb.RunCycleFaults(0, wrapOnly())
+	res.GeneratedOctets += 1000 // gen claims more bytes than the switch saw
+	err := res.Verify()
+	if err == nil {
+		t.Fatal("octet mismatch accepted")
+	}
+	if _, ok := err.(*OctetMismatchError); !ok {
+		t.Fatalf("want *OctetMismatchError, got %T: %v", err, err)
+	}
+	// Hand-built results (no octet statistics) keep verifying as before.
+	res.GeneratedOctets = 0
+	if err := res.Verify(); err != nil {
+		t.Fatalf("octet check not gated on GeneratedOctets: %v", err)
 	}
 }

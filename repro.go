@@ -84,8 +84,19 @@ var (
 	Flamingo = core.Flamingo // FreeBSD 5.4 / dual Intel Xeon
 )
 
+// The modern 10/40/100G systems (EXPERIMENTS.md, "Modern capture
+// stacks"): RSS multi-queue NICs feeding three receive architectures.
+var (
+	Heron  = core.Heron  // Linux NAPI + per-packet copies, 8 cores
+	Osprey = core.Osprey // poll-mode (busy-spin PMD cores), PCIe 4.0 host
+	Kite   = core.Kite   // AF_XDP-style zero copy over a shared UMEM
+)
+
 // Sniffers returns all four systems in plotting order.
 func Sniffers() []Config { return core.Sniffers() }
+
+// ModernSniffers returns the three modern systems in plotting order.
+func ModernSniffers() []Config { return core.ModernSniffers() }
 
 // Run executes one measurement run of one system (time-compressing OS
 // constants and buffers for short workloads) and returns its statistics.
